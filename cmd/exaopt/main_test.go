@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silently(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+func TestRunDefaults(t *testing.T) {
+	if err := silently(t, func() error { return run(nil) }); err != nil {
+		t.Fatalf("default run failed: %v", err)
+	}
+}
+
+func TestRunFullMachineLowMTBF(t *testing.T) {
+	// The regime where the Daly period collapses must render, not error.
+	err := silently(t, func() error {
+		return run([]string{"-class", "D64", "-fraction", "1.0", "-mtbf-years", "1"})
+	})
+	if err != nil {
+		t.Fatalf("collapse-regime run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-class", "Z99"},
+		{"-fraction", "0"},
+		{"-fraction", "1.5"},
+		{"-mtbf-years", "-1"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := silently(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

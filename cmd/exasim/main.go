@@ -1,0 +1,222 @@
+// Command exasim regenerates every table and figure of "An Analysis of
+// Resilience Techniques for Exascale Computing Platforms" (IPDPSW 2017)
+// from the exaresil simulation library.
+//
+// Usage:
+//
+//	exasim [flags] <exhibit>...
+//
+// where each exhibit is one of: table1, table2, fig1, fig2, fig3, fig4,
+// fig5, or all (every paper exhibit); or one of the extension studies:
+// ext-energy, ext-mtbf, ext-weibull, ext-backfill, ext-selectors, ext-tau, or
+// ext-all. With no exhibit arguments, "all" is assumed.
+//
+// Flags:
+//
+//	-trials N     Monte-Carlo trials per bar in fig1-3 (default 200, as
+//	              in the paper)
+//	-patterns N   arrival patterns per cell in fig4-5 (default 50)
+//	-seed N       master random seed (default the paper-epoch constant)
+//	-csv DIR      additionally write each exhibit as DIR/<name>.csv
+//	-chart        additionally render figures as ASCII bar charts
+//	-workers N    worker goroutines (default all CPUs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"exaresil/internal/experiments"
+	"exaresil/internal/report"
+	"exaresil/internal/selection"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "exasim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exasim", flag.ContinueOnError)
+	trials := fs.Int("trials", 200, "Monte-Carlo trials per bar (figures 1-3)")
+	patterns := fs.Int("patterns", 50, "arrival patterns per cell (figures 4-5)")
+	seed := fs.Uint64("seed", 0, "master random seed (0 = default)")
+	csvDir := fs.String("csv", "", "directory to write CSV copies of each exhibit")
+	chart := fs.Bool("chart", false, "render figures as ASCII bar charts too")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+
+	exhibits := fs.Args()
+	if len(exhibits) == 0 {
+		exhibits = []string{"all"}
+	}
+	var expanded []string
+	for _, e := range exhibits {
+		switch e {
+		case "all":
+			expanded = append(expanded, "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5")
+		case "ext-all":
+			expanded = append(expanded, "ext-energy", "ext-mtbf", "ext-weibull", "ext-backfill", "ext-selectors", "ext-tau", "ext-semiblocking", "ext-machines", "policy")
+		default:
+			expanded = append(expanded, e)
+		}
+	}
+
+	for _, name := range expanded {
+		start := time.Now()
+		t, ch, err := exhibit(name, cfg, *trials, *patterns)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		if *chart && ch != nil {
+			fmt.Println()
+			ch.Render(os.Stdout)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(t, *csvDir, name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scalingChart draws a Figure 1/2/3 data set as grouped bars.
+func scalingChart(res experiments.ScalingResult) *report.BarChart {
+	c := report.NewBarChart("", "efficiency")
+	c.Max = 1
+	seen := map[float64]bool{}
+	for _, p := range res.Points {
+		if seen[p.Fraction] {
+			continue
+		}
+		seen[p.Fraction] = true
+		var bars []report.Bar
+		for _, q := range res.Points {
+			if q.Fraction == p.Fraction {
+				bars = append(bars, report.Bar{
+					Label: q.Technique.String(),
+					Value: q.Efficiency.Mean,
+					Err:   q.Efficiency.StdDev,
+				})
+			}
+		}
+		c.AddGroup(fmt.Sprintf("%g%% of the machine", 100*p.Fraction), bars...)
+	}
+	return c
+}
+
+// clusterChart draws a Figure 4-style data set as grouped bars.
+func clusterChart(res experiments.ClusterResult) *report.BarChart {
+	c := report.NewBarChart("", "% dropped")
+	c.Max = 100
+	seen := map[string]bool{}
+	for _, cell := range res.Cells {
+		key := cell.Scheduler.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var bars []report.Bar
+		for _, q := range res.Cells {
+			if q.Scheduler == cell.Scheduler {
+				bars = append(bars, report.Bar{
+					Label: q.Technique.String(),
+					Value: q.Dropped.Mean,
+					Err:   q.Dropped.StdDev,
+				})
+			}
+		}
+		c.AddGroup(key, bars...)
+	}
+	return c
+}
+
+// exhibit dispatches one exhibit name to its experiment driver. The chart
+// is non-nil for exhibits with a natural bar rendering.
+func exhibit(name string, cfg experiments.Config, trials, patterns int) (*report.Table, *report.BarChart, error) {
+	switch name {
+	case "table1":
+		return experiments.TableI(), nil, nil
+	case "table2":
+		t, err := experiments.TableII(cfg)
+		return t, nil, err
+	case "fig1":
+		t, res, err := experiments.Figure1(cfg, trials)
+		return t, scalingChart(res), err
+	case "fig2":
+		t, res, err := experiments.Figure2(cfg, trials)
+		return t, scalingChart(res), err
+	case "fig3":
+		t, res, err := experiments.Figure3(cfg, trials)
+		return t, scalingChart(res), err
+	case "fig4":
+		t, res, err := experiments.Figure4(cfg, patterns)
+		return t, clusterChart(res), err
+	case "fig5":
+		t, _, err := experiments.Figure5(cfg, patterns)
+		return t, nil, err
+	case "ext-energy":
+		t, _, err := experiments.EnergySpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "ext-mtbf":
+		t, _, err := experiments.MTBFSweepSpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "ext-weibull":
+		t, _, err := experiments.WeibullSpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "ext-backfill":
+		t, res, err := experiments.BackfillSpec{Config: cfg, Patterns: patterns}.Run()
+		return t, clusterChart(res), err
+	case "ext-selectors":
+		t, _, err := experiments.SelectorAgreementSpec{Config: cfg, Patterns: patterns}.Run()
+		return t, nil, err
+	case "ext-tau":
+		t, _, err := experiments.TauSweepSpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "ext-semiblocking":
+		t, _, err := experiments.SemiBlockingSpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "ext-machines":
+		t, _, err := experiments.MachinesSpec{Config: cfg, Trials: trials}.Run()
+		return t, nil, err
+	case "policy":
+		t, err := experiments.PolicyTable(cfg, selection.Options{Trials: trials / 4})
+		return t, nil, err
+	default:
+		return nil, nil, fmt.Errorf("unknown exhibit %q (want table1, table2, fig1..fig5, all, ext-energy, ext-mtbf, ext-weibull, ext-backfill, ext-selectors, ext-tau, or ext-all)", name)
+	}
+}
+
+// writeCSV writes the exhibit's CSV companion file.
+func writeCSV(t *report.Table, dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("(csv written to %s)\n\n", path)
+	return f.Close()
+}

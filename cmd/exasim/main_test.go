@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exaresil/internal/experiments"
+)
+
+func TestExhibitDispatchKnowsEveryName(t *testing.T) {
+	cfg := experiments.Default()
+	for _, name := range []string{"table1", "table2"} {
+		tb, _, err := exhibit(name, cfg, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tb.Rows() == 0 {
+			t.Errorf("%s produced an empty table", name)
+		}
+	}
+	if _, _, err := exhibit("fig9", cfg, 1, 1); err == nil {
+		t.Error("unknown exhibit accepted")
+	}
+}
+
+func TestRunUnknownExhibit(t *testing.T) {
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("unknown exhibit should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunTinyFigureWithCSVAndChart(t *testing.T) {
+	dir := t.TempDir()
+	// Redirect stdout to keep test output clean.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	if err := run([]string{"-trials", "2", "-chart", "-csv", dir, "fig1"}); err != nil {
+		t.Fatalf("tiny fig1 run failed: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "Checkpoint Restart") {
+		t.Error("csv missing technique column")
+	}
+}
+
+func TestScalingChartShape(t *testing.T) {
+	cfg := experiments.Default()
+	_, res, err := experiments.ScalingSpec{Config: cfg, Trials: 2,
+		Fractions: []float64{0.01, 0.25}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := scalingChart(res)
+	out := c.String()
+	if !strings.Contains(out, "1% of the machine") || !strings.Contains(out, "25% of the machine") {
+		t.Errorf("chart missing size groups:\n%s", out)
+	}
+	if !strings.Contains(out, "Parallel Recovery") {
+		t.Error("chart missing technique bars")
+	}
+}
+
+func TestClusterChartShape(t *testing.T) {
+	cfg := experiments.Default()
+	_, res, err := experiments.ClusterSpec{Config: cfg, Patterns: 1, Arrivals: 10}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := clusterChart(res).String()
+	for _, label := range []string{"FCFS", "Random", "Slack-Based", "Ideal"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("cluster chart missing %s:\n%s", label, out)
+		}
+	}
+}

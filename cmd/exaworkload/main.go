@@ -1,0 +1,135 @@
+// Command exaworkload generates and summarizes the arrival patterns used
+// by the cluster studies: application mix, size distribution, offered
+// load, and deadline tightness.
+//
+// Usage:
+//
+//	exaworkload [-arrivals 100] [-bias unbiased|himem|hicomm|large]
+//	            [-fill] [-seed 1] [-list] [-save pattern.json]
+//	            [-load pattern.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/report"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "exaworkload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exaworkload", flag.ContinueOnError)
+	arrivals := fs.Int("arrivals", 100, "applications arriving after time zero")
+	biasName := fs.String("bias", "unbiased", "pattern population: unbiased, himem, hicomm, large")
+	fill := fs.Bool("fill", false, "fill the machine with applications at time zero")
+	seed := fs.Uint64("seed", 1, "pattern random seed")
+	list := fs.Bool("list", false, "list every generated application")
+	save := fs.String("save", "", "write the generated pattern as JSON to this file")
+	load := fs.String("load", "", "summarize a previously saved pattern instead of generating one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var bias workload.Bias
+	switch *biasName {
+	case "unbiased":
+		bias = workload.Unbiased
+	case "himem":
+		bias = workload.HighMemory
+	case "hicomm":
+		bias = workload.HighComm
+	case "large":
+		bias = workload.LargeApps
+	default:
+		return fmt.Errorf("unknown bias %q", *biasName)
+	}
+
+	cfg := machine.Exascale()
+	var pattern workload.Pattern
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pattern, err = workload.ReadPattern(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		pattern = workload.PatternSpec{
+			Arrivals:   *arrivals,
+			Bias:       bias,
+			FillSystem: *fill,
+		}.Generate(cfg, rng.New(*seed))
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := workload.WritePattern(f, pattern); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(pattern written to %s)\n", *save)
+	}
+
+	if *list {
+		t := report.New(fmt.Sprintf("Arrival pattern (%s, seed %d)", bias, *seed),
+			"id", "class", "nodes", "baseline", "arrival", "deadline")
+		for _, a := range pattern.Apps {
+			t.AddRow(report.I(a.ID), a.Class.Name, report.I(a.Nodes),
+				a.Baseline().String(), a.Arrival.String(), a.Deadline.String())
+		}
+		t.Render(os.Stdout)
+		return nil
+	}
+
+	classCount := map[string]int{}
+	var nodeTotal, stepTotal int
+	var loadMachineMinutes float64
+	var lastArrival units.Duration
+	for _, a := range pattern.Apps {
+		classCount[a.Class.Name]++
+		nodeTotal += a.Nodes
+		stepTotal += a.TimeSteps
+		loadMachineMinutes += float64(a.Nodes) * float64(a.Baseline())
+		if a.Arrival > lastArrival {
+			lastArrival = a.Arrival
+		}
+	}
+
+	t := report.New(fmt.Sprintf("Arrival pattern summary (%s, seed %d)", bias, *seed),
+		"metric", "value")
+	t.AddRow("applications", report.I(len(pattern.Apps)))
+	t.AddRow("of which initial fill", report.I(pattern.InitialFill))
+	t.AddRow("mean nodes per app", report.F(float64(nodeTotal)/float64(len(pattern.Apps))))
+	t.AddRow("mean baseline", (units.Duration(stepTotal) * units.Minute / units.Duration(len(pattern.Apps))).String())
+	t.AddRow("last arrival", lastArrival.String())
+	capacity := float64(cfg.Nodes) * float64(lastArrival)
+	if capacity > 0 {
+		t.AddRow("offered load vs capacity (to last arrival)",
+			fmt.Sprintf("%.2fx", loadMachineMinutes/capacity))
+	}
+	for _, c := range workload.Classes() {
+		t.AddRow("class "+c.Name, report.I(classCount[c.Name]))
+	}
+	t.Render(os.Stdout)
+	return nil
+}

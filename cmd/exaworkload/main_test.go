@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func silently(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+func TestRunSummary(t *testing.T) {
+	for _, bias := range []string{"unbiased", "himem", "hicomm", "large"} {
+		if err := silently(t, func() error {
+			return run([]string{"-arrivals", "10", "-bias", bias})
+		}); err != nil {
+			t.Fatalf("bias %s failed: %v", bias, err)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := silently(t, func() error {
+		return run([]string{"-arrivals", "5", "-list"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pattern.json")
+	if err := silently(t, func() error {
+		return run([]string{"-arrivals", "8", "-fill", "-save", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version"`) {
+		t.Error("saved pattern missing version")
+	}
+	if err := silently(t, func() error {
+		return run([]string{"-load", path})
+	}); err != nil {
+		t.Fatalf("loading saved pattern failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-bias", "sideways"},
+		{"-load", "/nonexistent/pattern.json"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := silently(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

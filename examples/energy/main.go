@@ -1,0 +1,75 @@
+// Energy: account for the energy each resilience technique consumes — the
+// dimension of the authors' companion study, and the paper's argument for
+// message logging ("the rest of the system can remain idle" during
+// recovery).
+//
+// Run with:
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"exaresil"
+)
+
+func main() {
+	sim, err := exaresil.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	power := exaresil.DefaultPowerModel()
+	fmt.Printf("node power model: %.0fW compute / %.0fW I/O / %.0fW idle\n\n",
+		float64(power.Compute), float64(power.IO), float64(power.Idle))
+
+	app := exaresil.App{
+		Class:     exaresil.ClassA32, // communication-free: PR's best case
+		TimeSteps: 1440,
+		Nodes:     30000,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "technique\ttotal energy\tcompute\trework\tcheckpoint\trestart\toverhead")
+	const trials = 25
+	for _, tech := range []exaresil.Technique{
+		exaresil.CheckpointRestart,
+		exaresil.MultilevelCheckpoint,
+		exaresil.ParallelRecovery,
+	} {
+		x, err := sim.Executor(tech, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Average the breakdown over several runs.
+		var total, compute, rework, ckpt, restart, overhead float64
+		for seed := uint64(0); seed < trials; seed++ {
+			res, err := sim.RunApp(tech, app, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := sim.EnergyOf(res, x.PhysicalNodes(), power)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += b.Total.MWh() / trials
+			compute += b.Compute.MWh() / trials
+			rework += b.Rework.MWh() / trials
+			ckpt += b.Checkpoint.MWh() / trials
+			restart += b.Restart.MWh() / trials
+			overhead += b.Overhead() / trials
+		}
+		fmt.Fprintf(w, "%v\t%.1fMWh\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f%%\n",
+			tech, total, compute, rework, ckpt, restart, 100*overhead)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	ideal := float64(30000) * float64(power.Compute) * app.Baseline().Seconds() / 3.6e9
+	fmt.Printf("\nideal (failure- and overhead-free) energy: %.1f MWh\n", ideal)
+	fmt.Println("parallel recovery idles the machine during rework, so its overhead stays lowest")
+}

@@ -1,0 +1,53 @@
+// Quickstart: simulate one application's execution under each resilience
+// technique on the projected exascale machine and print what happened.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exaresil"
+)
+
+func main() {
+	// A simulation bundles the machine, the failure model, and technique
+	// parameters. The default is the paper's 120,000-node exascale
+	// machine with a ten-year component MTBF.
+	sim, err := exaresil.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sim.Machine())
+
+	// Describe an application: class C64 communicates half of every time
+	// step and checkpoints 64 GB per node; 1440 one-minute steps is one
+	// day of work; 30,000 nodes is a quarter of the machine.
+	app := exaresil.App{
+		Class:     exaresil.ClassC64,
+		TimeSteps: 1440,
+		Nodes:     30000,
+	}
+	fmt.Printf("application: %v\n\n", app)
+
+	// Simulate one execution under each technique with the same seed and
+	// print the outcome: makespan, efficiency, and event counts.
+	for _, tech := range exaresil.Techniques() {
+		res, err := sim.RunApp(tech, app, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+
+	// Single runs are noisy; a study averages many independent trials.
+	stats, err := sim.Study(exaresil.MultilevelCheckpoint, app, 100, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmultilevel checkpoint over 100 trials: efficiency %.3f ± %.3f, %.1f failures/run\n",
+		stats.Efficiency.Mean, stats.Efficiency.StdDev, stats.Failures.Mean)
+}

@@ -1,0 +1,73 @@
+// Scaling: reproduce the shape of the paper's Figures 1-2 for any
+// application class — resilience-technique efficiency as the application
+// grows from one percent of the exascale machine to all of it.
+//
+// Run with:
+//
+//	go run ./examples/scaling            # class D64, as in Figure 2
+//	go run ./examples/scaling -class A32 # as in Figure 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"exaresil"
+)
+
+func main() {
+	className := flag.String("class", "D64", "application class (A32..D64)")
+	trials := flag.Int("trials", 50, "Monte-Carlo trials per point")
+	flag.Parse()
+
+	var class exaresil.AppClass
+	found := false
+	for _, c := range exaresil.Classes() {
+		if c.Name == *className {
+			class, found = c, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown class %q", *className)
+	}
+
+	sim, err := exaresil.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := sim.Machine()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "size\tnodes")
+	for _, tech := range exaresil.Techniques() {
+		fmt.Fprintf(w, "\t%v", tech)
+	}
+	fmt.Fprintln(w)
+
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.00} {
+		app := exaresil.App{
+			Class:     class,
+			TimeSteps: 1440,
+			Nodes:     machine.NodesForFraction(frac),
+		}
+		fmt.Fprintf(w, "%g%%\t%d", 100*frac, app.Nodes)
+		for _, tech := range exaresil.Techniques() {
+			stats, err := sim.Study(tech, app, *trials, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "\t%.3f±%.3f", stats.Efficiency.Mean, stats.Efficiency.StdDev)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nefficiency = baseline time / actual time; 0.000 means the technique cannot run at that size\n")
+	fmt.Printf("(class %s: %.0f%% communication, %v per node; %d trials per point)\n",
+		class.Name, 100*class.CommFraction, class.MemoryPerNode, *trials)
+}

@@ -1,0 +1,78 @@
+// Scheduling: simulate an oversubscribed exascale machine serving an
+// arrival pattern of applications with deadlines, comparing the three
+// resource-management heuristics under each resilience technique — the
+// setting of the paper's Figure 4.
+//
+// Run with:
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"exaresil"
+)
+
+func main() {
+	sim, err := exaresil.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate one arrival pattern: the machine starts full, then 100
+	// applications of mixed class, size (1-50% of the machine), and
+	// duration (6-48 h) arrive every two hours on average, each with a
+	// deadline 1.2-2.0x its baseline execution time.
+	pattern := sim.GeneratePattern(exaresil.PatternSpec{
+		Arrivals:   100,
+		FillSystem: true,
+	}, 11)
+	fmt.Printf("pattern: %d applications (%d filling the machine at t=0)\n\n",
+		len(pattern.Apps), pattern.InitialFill)
+
+	techniques := []exaresil.Technique{
+		exaresil.Ideal,
+		exaresil.CheckpointRestart,
+		exaresil.MultilevelCheckpoint,
+		exaresil.ParallelRecovery,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "scheduler")
+	for _, tech := range techniques {
+		fmt.Fprintf(w, "\t%v", tech)
+	}
+	fmt.Fprintln(w, "\t(dropped applications)")
+
+	for _, sch := range exaresil.Schedulers() {
+		fmt.Fprintf(w, "%v", sch)
+		for _, tech := range techniques {
+			m, err := sim.RunCluster(sch, tech, pattern, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "\t%.1f%%", m.DroppedPct())
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drill into one combination.
+	m, err := sim.RunCluster(exaresil.SlackBased, exaresil.ParallelRecovery, pattern, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nslack-based + parallel recovery in detail:\n")
+	fmt.Printf("  completed %d / %d applications (dropped %d queued, %d past deadline)\n",
+		m.Completed, m.Total, m.DroppedQueued, m.DroppedRunning)
+	fmt.Printf("  mean queueing delay %v; mean efficiency of completed runs %.3f\n",
+		m.MeanWait, m.MeanEfficiency)
+	fmt.Printf("  peak machine utilization %.1f%%; last departure at %v\n",
+		100*m.PeakUtilization, m.MakespanEnd)
+}

@@ -1,0 +1,3 @@
+module exaresil
+
+go 1.24

@@ -1,0 +1,262 @@
+// Package analytic provides closed-form, first-order expected-efficiency
+// models for each resilience technique.
+//
+// The models serve two purposes. First, validation: the discrete-event
+// simulator and the renewal-theory formulas are independent derivations of
+// the same physics, so agreement between them (tested in this package)
+// catches modeling bugs in either. Second, speed: selecting a technique
+// per application from the closed forms is thousands of times faster than
+// Monte-Carlo probing, which matters when a resource manager must decide
+// at submission time.
+//
+// All formulas are first-order in the failure rate, the same order as
+// Daly's period estimate (Eq. 4); they degrade gracefully in the collapse
+// regimes by reporting zero efficiency.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// Efficiency reports the expected efficiency (baseline time over expected
+// makespan) of running app on cfg under technique t, per the first-order
+// renewal model. It returns 0 for regimes where the technique cannot make
+// progress, mirroring the simulator's incomplete runs.
+func Efficiency(t core.Technique, app workload.App, cfg machine.Config, model *failures.Model, opts resilience.Config) (float64, error) {
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if model == nil {
+		return 0, fmt.Errorf("analytic: nil failure model")
+	}
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+
+	costs := resilience.ComputeCosts(app, cfg)
+	rate := model.Rate(app.Nodes).PerMinute()
+
+	switch t {
+	case core.Ideal:
+		return 1, nil
+	case core.CheckpointRestart:
+		return exactPeriodicEfficiency(1, costs.PFS, costs.PFS, rate), nil
+	case core.ParallelRecovery:
+		mu := resilience.MessageLoggingSlowdown(app.Class)
+		return periodicEfficiency(mu, costs.L2, costs.L2, rate, opts.RecoverySpeedup), nil
+	case core.MultilevelCheckpoint:
+		return multilevelEfficiency(app, costs, model, opts)
+	case core.PartialRedundancy:
+		return redundantEfficiency(app, cfg, costs, model, 1.5), nil
+	case core.FullRedundancy:
+		return redundantEfficiency(app, cfg, costs, model, 2.0), nil
+	default:
+		return 0, fmt.Errorf("analytic: no model for technique %v", t)
+	}
+}
+
+// periodicEfficiency is the single-level renewal model shared by
+// Checkpoint Restart (stretch 1, phi 1) and Parallel Recovery (stretch mu,
+// rework speedup phi): work inflated by stretch, checkpoints of the given
+// cost at the Daly period, failures at rate lambda each costing a restore
+// plus the replay (at phi-fold speed) of on average half a period's work.
+//
+//	eff = 1 / (stretch * (1 + C/tau) / (1 - lambda*(R + (tau+C)/(2*phi))))
+func periodicEfficiency(stretch float64, checkpoint, restart units.Duration, lambda, phi float64) float64 {
+	tau, ok := resilience.DalyPeriod(checkpoint, units.Rate(lambda))
+	if !ok {
+		return 0
+	}
+	c, r := checkpoint.Minutes(), restart.Minutes()
+	overhead := stretch
+	if !math.IsInf(tau.Minutes(), 1) {
+		overhead = stretch * (1 + c/tau.Minutes())
+	}
+	loss := lambda * (r + (tau.Minutes()+c)/(2*phi)*stretch)
+	if loss >= 1 {
+		return 0
+	}
+	eff := (1 - loss) / overhead
+	return clamp01(eff)
+}
+
+// exactPeriodicEfficiency is the exact renewal expectation for a
+// single-level periodic scheme under exponential failures, used where the
+// first-order expansion breaks down (Checkpoint Restart at exascale, where
+// lambda*(tau+C) approaches 1).
+//
+// Committing one checkpoint interval requires surviving an exposure of
+// D = tau + C; each failure costs its elapsed time plus an uninterruptible
+// restart of length R that retries on its own failures. The expected wall
+// time per committed interval is then
+//
+//	E = e^(lambda*R) * (e^(lambda*D) - 1) / lambda,
+//
+// (the number of work attempts is geometric with mean e^(lambda*D); each
+// failed attempt costs its conditional elapsed time plus an expected
+// restart of (e^(lambda*R)-1)/lambda; the terms telescope to the closed
+// form above). Efficiency is the useful work per interval, tau, over
+// stretch times E.
+func exactPeriodicEfficiency(stretch float64, checkpoint, restart units.Duration, lambda float64) float64 {
+	tau, ok := resilience.DalyPeriod(checkpoint, units.Rate(lambda))
+	if !ok {
+		return 0
+	}
+	if lambda <= 0 || math.IsInf(tau.Minutes(), 1) {
+		return clamp01(1 / stretch)
+	}
+	d := tau.Minutes() + checkpoint.Minutes()
+	expected := math.Exp(lambda*restart.Minutes()) * math.Expm1(lambda*d) / lambda
+	if math.IsInf(expected, 1) || expected <= 0 {
+		return 0
+	}
+	return clamp01(tau.Minutes() / (stretch * expected))
+}
+
+// multilevelEfficiency reuses the schedule optimizer's expected-stretch
+// objective: the optimizer already embodies the first-order Markov model.
+func multilevelEfficiency(app workload.App, costs resilience.Costs, model *failures.Model, opts resilience.Config) (float64, error) {
+	rates := severityRates(model, app.Nodes)
+	sched, err := resilience.OptimizeMultilevel(costs, rates, opts.Multilevel)
+	if err != nil {
+		// No feasible schedule: the technique cannot make progress.
+		return 0, nil
+	}
+	stretch := sched.ExpectedStretch(costs, rates)
+	if math.IsInf(stretch, 1) || stretch <= 0 {
+		return 0, nil
+	}
+	return clamp01(1 / stretch), nil
+}
+
+// redundantEfficiency models redundancy of degree r: the baseline
+// stretches per Eq. 8, checkpointing continues at Checkpoint Restart's
+// period, and the effective rollback rate collapses to
+//
+//	lambda_eff = n_unreplicated * lambda_n  +  n_pairs * lambda_n^2 * (tau + C)
+//
+// — unreplicated virtual nodes die on any hit, replicated pairs only when
+// both replicas are hit within one checkpoint interval (the probability of
+// which is first-order (lambda_n * interval)^2 per pair per interval).
+func redundantEfficiency(app workload.App, cfg machine.Config, costs resilience.Costs, model *failures.Model, r float64) float64 {
+	phys := resilience.RedundantNodes(app.Nodes, r)
+	if phys > cfg.Nodes {
+		return 0
+	}
+	tau, ok := resilience.DalyPeriod(costs.PFS, model.Rate(app.Nodes))
+	if !ok {
+		return 0
+	}
+	c := costs.PFS.Minutes()
+	interval := tau.Minutes() + c
+
+	lambdaNode := model.Rate(1).PerMinute()
+	pairs := phys - app.Nodes
+	unreplicated := app.Nodes - pairs
+	lambdaEff := float64(unreplicated)*lambdaNode +
+		float64(pairs)*lambdaNode*lambdaNode*interval
+
+	stretch := resilience.RedundantBaseline(app, r).Minutes() / app.Baseline().Minutes()
+	overhead := stretch * (1 + c/tau.Minutes())
+	loss := lambdaEff * (c + interval/2*stretch)
+	if loss >= 1 {
+		return 0
+	}
+	return clamp01((1 - loss) / overhead)
+}
+
+// severityRates splits an application's failure rate across the severity
+// levels of the model's PMF.
+func severityRates(model *failures.Model, nodes int) [3]units.Rate {
+	pmf := model.PMF()
+	total := 0.0
+	for _, w := range pmf {
+		total += w
+	}
+	var out [3]units.Rate
+	for i, w := range pmf {
+		out[i] = units.Rate(float64(model.Rate(nodes)) * w / total)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Best reports the technique with the highest analytic efficiency among
+// candidates for the given application, with its predicted efficiency.
+func Best(candidates []core.Technique, app workload.App, cfg machine.Config, model *failures.Model, opts resilience.Config) (core.Technique, float64, error) {
+	if len(candidates) == 0 {
+		return 0, 0, fmt.Errorf("analytic: no candidate techniques")
+	}
+	best := candidates[0]
+	bestEff := math.Inf(-1)
+	for _, t := range candidates {
+		eff, err := Efficiency(t, app, cfg, model, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if eff > bestEff {
+			best, bestEff = t, eff
+		}
+	}
+	return best, bestEff, nil
+}
+
+// Selector is a fast Resilience Selection policy computed from the
+// analytic models instead of Monte-Carlo probes. It implements the same
+// Choose signature as the Monte-Carlo selector and is safe for concurrent
+// use.
+type Selector struct {
+	candidates []core.Technique
+	cfg        machine.Config
+	model      *failures.Model
+	opts       resilience.Config
+}
+
+// NewSelector builds an analytic selector. Nil candidates means the
+// cluster-study trio.
+func NewSelector(candidates []core.Technique, cfg machine.Config, model *failures.Model, opts resilience.Config) (*Selector, error) {
+	if candidates == nil {
+		candidates = core.ClusterTechniques()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("analytic: nil failure model")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Selector{candidates: candidates, cfg: cfg, model: model, opts: opts}, nil
+}
+
+// Choose picks the analytically best technique for app. Evaluation errors
+// (malformed apps) fall back to the first candidate; the cluster validates
+// apps before they reach mapping, so this path is defensive.
+func (s *Selector) Choose(app workload.App) core.Technique {
+	best, _, err := Best(s.candidates, app, s.cfg, s.model, s.opts)
+	if err != nil {
+		return s.candidates[0]
+	}
+	return best
+}

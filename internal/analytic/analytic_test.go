@@ -1,0 +1,202 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"exaresil/internal/appsim"
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+func env(t *testing.T) (machine.Config, *failures.Model, resilience.Config) {
+	t.Helper()
+	cfg := machine.Exascale()
+	return cfg, failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF()), resilience.DefaultConfig()
+}
+
+func app(class workload.Class, nodes int) workload.App {
+	return workload.App{Class: class, TimeSteps: 1440, Nodes: nodes}
+}
+
+func TestEfficiencyValidation(t *testing.T) {
+	cfg, model, opts := env(t)
+	a := app(workload.C64, 1000)
+	if _, err := Efficiency(core.CheckpointRestart, workload.App{}, cfg, model, opts); err == nil {
+		t.Error("invalid app accepted")
+	}
+	if _, err := Efficiency(core.CheckpointRestart, a, machine.Config{}, model, opts); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if _, err := Efficiency(core.CheckpointRestart, a, cfg, nil, opts); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Efficiency(core.Technique(99), a, cfg, model, opts); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}
+
+func TestIdealIsOne(t *testing.T) {
+	cfg, model, opts := env(t)
+	eff, err := Efficiency(core.Ideal, app(workload.C64, 1000), cfg, model, opts)
+	if err != nil || eff != 1 {
+		t.Errorf("Ideal efficiency = %v, %v; want 1, nil", eff, err)
+	}
+}
+
+func TestEfficiencyInUnitInterval(t *testing.T) {
+	cfg, model, opts := env(t)
+	for _, tech := range core.Techniques() {
+		for _, nodes := range []int{1200, 30000, 120000} {
+			for _, class := range workload.Classes() {
+				eff, err := Efficiency(tech, app(class, nodes), cfg, model, opts)
+				if err != nil {
+					t.Fatalf("%v/%s/%d: %v", tech, class.Name, nodes, err)
+				}
+				if eff < 0 || eff > 1 {
+					t.Errorf("%v/%s/%d: efficiency %v outside [0,1]", tech, class.Name, nodes, eff)
+				}
+			}
+		}
+	}
+}
+
+func TestEfficiencyMonotoneInSize(t *testing.T) {
+	cfg, model, opts := env(t)
+	for _, tech := range core.ClusterTechniques() {
+		small, _ := Efficiency(tech, app(workload.C64, 1200), cfg, model, opts)
+		large, _ := Efficiency(tech, app(workload.C64, 120000), cfg, model, opts)
+		if large >= small {
+			t.Errorf("%v: efficiency did not decrease with size (%v -> %v)", tech, small, large)
+		}
+	}
+}
+
+func TestCollapseRegimes(t *testing.T) {
+	cfg := machine.Exascale().WithMTBF(1 * units.Year)
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	opts := resilience.DefaultConfig()
+	eff, err := Efficiency(core.CheckpointRestart, app(workload.D64, cfg.Nodes), cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 0 {
+		t.Errorf("CR at exascale/1y MTBF: analytic efficiency %v, want 0", eff)
+	}
+	// Oversized redundancy is unplaceable.
+	base, baseModel, _ := env(t)
+	eff, err = Efficiency(core.FullRedundancy, app(workload.A32, 90000), base, baseModel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 0 {
+		t.Errorf("unplaceable redundancy: analytic efficiency %v, want 0", eff)
+	}
+}
+
+// TestAgreementWithSimulator is the package's core validation: the
+// analytic prediction and the Monte-Carlo mean must agree within a
+// first-order tolerance across techniques, classes, and sizes.
+func TestAgreementWithSimulator(t *testing.T) {
+	cfg, model, opts := env(t)
+	cases := []struct {
+		tech  core.Technique
+		class workload.Class
+		nodes int
+		tol   float64
+	}{
+		{core.CheckpointRestart, workload.A32, 1200, 0.02},
+		{core.CheckpointRestart, workload.C64, 30000, 0.05},
+		{core.CheckpointRestart, workload.D64, 120000, 0.10},
+		{core.ParallelRecovery, workload.A32, 1200, 0.02},
+		{core.ParallelRecovery, workload.D64, 30000, 0.03},
+		{core.ParallelRecovery, workload.D64, 120000, 0.05},
+		{core.MultilevelCheckpoint, workload.A32, 1200, 0.03},
+		{core.MultilevelCheckpoint, workload.C64, 30000, 0.06},
+		{core.FullRedundancy, workload.A32, 30000, 0.05},
+		{core.PartialRedundancy, workload.C32, 30000, 0.07},
+	}
+	for _, tc := range cases {
+		a := app(tc.class, tc.nodes)
+		predicted, err := Efficiency(tc.tech, a, cfg, model, opts)
+		if err != nil {
+			t.Fatalf("%v/%s: %v", tc.tech, tc.class.Name, err)
+		}
+		x, err := resilience.New(tc.tech, a, cfg, model, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := appsim.Run(appsim.TrialSpec{Executor: x, Trials: 40, Seed: 9})
+		measured := st.Efficiency.Mean
+		if math.Abs(predicted-measured) > tc.tol {
+			t.Errorf("%v on %s@%d nodes: analytic %.4f vs simulated %.4f (tol %.2f)",
+				tc.tech, tc.class.Name, tc.nodes, predicted, measured, tc.tol)
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	cfg, model, opts := env(t)
+	// Figure 1's conclusion: PR wins for communication-free apps.
+	best, eff, err := Best(core.ClusterTechniques(), app(workload.A32, 30000), cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != core.ParallelRecovery {
+		t.Errorf("best for A32 = %v, want Parallel Recovery", best)
+	}
+	if eff <= 0.9 {
+		t.Errorf("predicted efficiency %v implausibly low", eff)
+	}
+	// Figure 2's conclusion: multilevel wins small high-comm apps.
+	best, _, err = Best(core.ClusterTechniques(), app(workload.D64, 1200), cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != core.MultilevelCheckpoint {
+		t.Errorf("best for small D64 = %v, want Multilevel", best)
+	}
+	if _, _, err := Best(nil, app(workload.A32, 100), cfg, model, opts); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+}
+
+func TestSelector(t *testing.T) {
+	cfg, model, opts := env(t)
+	sel, err := NewSelector(nil, cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Choose(app(workload.A32, 30000)); got != core.ParallelRecovery {
+		t.Errorf("selector chose %v for A32, want Parallel Recovery", got)
+	}
+	if got := sel.Choose(app(workload.D64, 1200)); got != core.MultilevelCheckpoint {
+		t.Errorf("selector chose %v for small D64, want Multilevel", got)
+	}
+	// Compatible with the cluster chooser signature.
+	var f func(workload.App) core.Technique = sel.Choose
+	_ = f
+	if _, err := NewSelector(nil, machine.Config{}, model, opts); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if _, err := NewSelector(nil, cfg, nil, opts); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func BenchmarkAnalyticEfficiency(b *testing.B) {
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	opts := resilience.DefaultConfig()
+	a := app(workload.C64, 30000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Efficiency(core.ParallelRecovery, a, cfg, model, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package appsim is the Monte-Carlo harness for single-application
+// resilience studies: it runs many independent simulated executions of one
+// (application, technique) pair across worker goroutines and aggregates
+// their statistics.
+//
+// Trials are reproducible regardless of scheduling: trial i always draws
+// its randomness from rng.Stream(seed, i), so a study's numbers depend only
+// on its seed and trial count, never on GOMAXPROCS.
+package appsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"exaresil/internal/resilience"
+	"exaresil/internal/rng"
+	"exaresil/internal/stats"
+	"exaresil/internal/units"
+)
+
+// DefaultHorizonFactor bounds runaway executions: a run is abandoned (and
+// scored at zero efficiency) once it exceeds this multiple of the
+// application's baseline execution time. The paper's degenerate regimes
+// (Checkpoint Restart at exascale with unreliable components) are exactly
+// the runs this cap catches.
+const DefaultHorizonFactor = 100
+
+// TrialSpec describes a Monte-Carlo study of one executor.
+type TrialSpec struct {
+	// Executor is the (application, technique) pair under study.
+	Executor resilience.Executor
+	// Trials is the number of independent executions (the paper uses 200
+	// for the scaling studies).
+	Trials int
+	// Seed selects the family of random streams.
+	Seed uint64
+	// HorizonFactor overrides DefaultHorizonFactor when positive.
+	HorizonFactor float64
+	// Workers overrides the worker goroutine count (default GOMAXPROCS).
+	Workers int
+}
+
+// TrialStats aggregates the results of a Monte-Carlo study.
+type TrialStats struct {
+	// Efficiency summarizes the paper's headline metric over all trials;
+	// incomplete runs contribute zeros.
+	Efficiency stats.Summary
+	// Makespan summarizes wall time over completed trials only.
+	Makespan stats.Summary
+	// Failures, Rollbacks, and Checkpoints summarize event counts over
+	// all trials.
+	Failures, Rollbacks, Checkpoints stats.Summary
+	// CompletionRate is the fraction of trials that finished before the
+	// horizon.
+	CompletionRate float64
+}
+
+// Run executes the study. It panics on a non-positive trial count, and
+// returns all-zero statistics for non-viable executors without running
+// anything (their efficiency is identically zero).
+func Run(spec TrialSpec) TrialStats {
+	if spec.Trials <= 0 {
+		panic(fmt.Sprintf("appsim: trial count %d must be positive", spec.Trials))
+	}
+	x := spec.Executor
+	horizonFactor := spec.HorizonFactor
+	if horizonFactor <= 0 {
+		horizonFactor = DefaultHorizonFactor
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Trials {
+		workers = spec.Trials
+	}
+
+	if ok, _ := x.Viable(); !ok {
+		// Every run would be blocked at zero efficiency; synthesize the
+		// aggregate directly.
+		var eff, counts stats.Accumulator
+		for i := 0; i < spec.Trials; i++ {
+			eff.Add(0)
+			counts.Add(0)
+		}
+		return TrialStats{
+			Efficiency:  eff.Summarize(),
+			Failures:    counts.Summarize(),
+			Rollbacks:   counts.Summarize(),
+			Checkpoints: counts.Summarize(),
+		}
+	}
+
+	horizon := units.Duration(horizonFactor * float64(x.App().Baseline()))
+
+	type acc struct {
+		eff, makespan, failures, rollbacks, ckpts stats.Accumulator
+		completed                                 int
+	}
+	accs := make([]acc, workers)
+
+	// Each worker needs its own executor: strategies carry per-run state.
+	// Worker 0 reuses the caller's executor; the rest get clones.
+	execs := make([]resilience.Executor, workers)
+	execs[0] = x
+	for w := 1; w < workers; w++ {
+		execs[w] = x.Clone()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := &accs[w]
+			for trial := range next {
+				res := execs[w].Run(0, horizon, rng.Stream(spec.Seed, uint64(trial)))
+				a.eff.Add(res.Efficiency())
+				a.failures.Add(float64(res.Failures))
+				a.rollbacks.Add(float64(res.Rollbacks))
+				a.ckpts.Add(float64(res.TotalCheckpoints()))
+				if res.Completed {
+					a.completed++
+					a.makespan.Add(res.Makespan().Minutes())
+				}
+			}
+		}(w)
+	}
+	for trial := 0; trial < spec.Trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	var out acc
+	for _, a := range accs {
+		out.eff.Merge(a.eff)
+		out.makespan.Merge(a.makespan)
+		out.failures.Merge(a.failures)
+		out.rollbacks.Merge(a.rollbacks)
+		out.ckpts.Merge(a.ckpts)
+		out.completed += a.completed
+	}
+	return TrialStats{
+		Efficiency:     out.eff.Summarize(),
+		Makespan:       out.makespan.Summarize(),
+		Failures:       out.failures.Summarize(),
+		Rollbacks:      out.rollbacks.Summarize(),
+		Checkpoints:    out.ckpts.Summarize(),
+		CompletionRate: float64(out.completed) / float64(spec.Trials),
+	}
+}

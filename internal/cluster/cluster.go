@@ -1,0 +1,469 @@
+// Package cluster simulates an oversubscribed exascale machine serving an
+// arrival pattern of applications under a resource-management heuristic and
+// a resilience technique (Sections VI and VII of the paper).
+//
+// The cluster simulation rides on a statistical property of the failure
+// model: failures strike uniformly at random over active nodes and form a
+// Poisson process, so by Poisson thinning each application experiences an
+// independent Poisson failure process with rate N_a/M_n regardless of what
+// else is running. The cluster's discrete-event simulation therefore only
+// has to coordinate arrivals, mapping events, node accounting, completions,
+// and deadline drops; each mapped application's trajectory is produced by
+// its own resilience executor.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"exaresil/internal/core"
+	"exaresil/internal/des"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/rng"
+	"exaresil/internal/sched"
+	"exaresil/internal/stats"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// TechniqueChooser selects the resilience technique for an application at
+// mapping time. The Section VII "Resilience Selection" policy is one such
+// chooser; a constant function reproduces the single-technique studies.
+type TechniqueChooser func(app workload.App) core.Technique
+
+// Spec configures one cluster simulation run.
+type Spec struct {
+	// Machine is the hardware configuration.
+	Machine machine.Config
+	// Model is the failure model (MTBF and severity distribution).
+	Model *failures.Model
+	// Scheduler selects the resource-management heuristic.
+	Scheduler core.Scheduler
+	// Technique is the resilience technique applied to every
+	// application; ignored when Chooser is non-nil.
+	Technique core.Technique
+	// Chooser, when non-nil, selects a technique per application.
+	Chooser TechniqueChooser
+	// Resilience tunes technique parameters.
+	Resilience resilience.Config
+	// Pattern is the submission workload.
+	Pattern workload.Pattern
+	// Seed drives every random choice in the run.
+	Seed uint64
+}
+
+// Outcome classifies how an application left the system.
+type Outcome int
+
+// The possible application fates.
+const (
+	// OutcomeCompleted: finished before its deadline.
+	OutcomeCompleted Outcome = iota
+	// OutcomeDroppedQueued: dropped while waiting (negative slack at a
+	// mapping event, or a technique that cannot place it at all).
+	OutcomeDroppedQueued
+	// OutcomeDroppedRunning: started but failed to finish by its
+	// deadline; it occupied nodes until the deadline and was removed.
+	OutcomeDroppedRunning
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeDroppedQueued:
+		return "dropped-queued"
+	case OutcomeDroppedRunning:
+		return "dropped-running"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// AppResult records one application's fate.
+type AppResult struct {
+	// App is the application descriptor.
+	App workload.App
+	// Technique is the resilience technique it ran under.
+	Technique core.Technique
+	// Outcome classifies its fate.
+	Outcome Outcome
+	// Started reports whether it ever occupied nodes, and Start when.
+	Started bool
+	Start   units.Duration
+	// End is when it left the system (completion, drop, or deadline).
+	End units.Duration
+}
+
+// Waited reports how long the application queued before starting (or
+// before being dropped, if it never started).
+func (r AppResult) Waited() units.Duration {
+	if !r.Started {
+		return r.End - r.App.Arrival
+	}
+	return r.Start - r.App.Arrival
+}
+
+// Metrics aggregates one run.
+type Metrics struct {
+	// Total, Completed and Dropped count applications; Dropped is the
+	// paper's Figure 4/5 headline metric.
+	Total, Completed, Dropped int
+	// DroppedQueued and DroppedRunning decompose Dropped.
+	DroppedQueued, DroppedRunning int
+	// MeanWait summarizes queueing delay over all applications.
+	MeanWait units.Duration
+	// MeanEfficiency summarizes baseline/makespan over completed apps.
+	MeanEfficiency float64
+	// MakespanEnd is when the last application left the system.
+	MakespanEnd units.Duration
+	// PeakUtilization is the maximum fraction of nodes ever in use.
+	PeakUtilization float64
+	// AvgUtilization is the time-averaged fraction of nodes in use from
+	// time zero until the last departure.
+	AvgUtilization float64
+	// Results holds every application's fate, in pattern order.
+	Results []AppResult
+}
+
+// DroppedPct reports the percentage of applications dropped.
+func (m Metrics) DroppedPct() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(m.Dropped) / float64(m.Total)
+}
+
+// job is the cluster's per-application state.
+type job struct {
+	app         workload.App
+	tech        core.Technique
+	exec        resilience.Executor
+	phys        int // physical nodes when running
+	arrived     bool
+	started     bool
+	running     bool
+	expectedEnd units.Duration
+	finished    bool
+	result      AppResult
+}
+
+// Run executes one cluster simulation.
+func Run(spec Spec) (Metrics, error) {
+	if err := spec.Machine.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if spec.Model == nil {
+		return Metrics{}, fmt.Errorf("cluster: nil failure model")
+	}
+	if err := spec.Resilience.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	mapper, err := sched.New(spec.Scheduler)
+	if err != nil {
+		return Metrics{}, err
+	}
+	chooser := spec.Chooser
+	if chooser == nil {
+		fixed := spec.Technique
+		if !fixed.Valid() {
+			return Metrics{}, fmt.Errorf("cluster: invalid technique %v", fixed)
+		}
+		chooser = func(workload.App) core.Technique { return fixed }
+	}
+
+	jobs := make([]*job, len(spec.Pattern.Apps))
+	for i, app := range spec.Pattern.Apps {
+		if err := app.Validate(); err != nil {
+			return Metrics{}, err
+		}
+		jobs[i] = &job{app: app}
+	}
+
+	c := &run{
+		spec:    spec,
+		mapper:  mapper,
+		chooser: chooser,
+		jobs:    jobs,
+		free:    spec.Machine.Nodes,
+		sim:     des.New(),
+		mapSrc:  rng.Stream(spec.Seed, 1_000_000_007),
+	}
+	return c.execute()
+}
+
+// run is the in-flight simulation state.
+type run struct {
+	spec    Spec
+	mapper  sched.Mapper
+	chooser TechniqueChooser
+	jobs    []*job
+	queue   []*job
+	free    int
+	sim     *des.Simulator
+	mapSrc  *rng.Source
+	mapping bool // a mapping event is already pending at the current time
+	peak    int
+	err     error
+
+	// busyIntegral accumulates used-node x time; busySince marks the last
+	// time the used count changed.
+	busyIntegral float64
+	busySince    units.Duration
+}
+
+// noteUtilization folds the interval since the last node-count change into
+// the utilization integral. Call before every change to free.
+func (c *run) noteUtilization() {
+	now := c.sim.Now()
+	used := c.spec.Machine.Nodes - c.free
+	c.busyIntegral += float64(used) * float64(now-c.busySince)
+	c.busySince = now
+}
+
+func (c *run) execute() (Metrics, error) {
+	for _, j := range c.jobs {
+		c.sim.Schedule(j.app.Arrival, "arrival", func(*des.Simulator) {
+			c.arrive(j)
+		})
+	}
+	c.sim.Run()
+	if c.err != nil {
+		return Metrics{}, c.err
+	}
+
+	m := Metrics{Total: len(c.jobs)}
+	var wait stats.Accumulator
+	var eff stats.Accumulator
+	for _, j := range c.jobs {
+		if !j.finished {
+			return Metrics{}, fmt.Errorf("cluster: job %d never resolved", j.app.ID)
+		}
+		m.Results = append(m.Results, j.result)
+		wait.Add(j.result.Waited().Minutes())
+		switch j.result.Outcome {
+		case OutcomeCompleted:
+			m.Completed++
+			eff.Add(float64(j.app.Baseline()) / float64(j.result.End-j.result.Start))
+			if j.result.End > m.MakespanEnd {
+				m.MakespanEnd = j.result.End
+			}
+		case OutcomeDroppedQueued:
+			m.Dropped++
+			m.DroppedQueued++
+		case OutcomeDroppedRunning:
+			m.Dropped++
+			m.DroppedRunning++
+		}
+		if j.result.End > m.MakespanEnd {
+			m.MakespanEnd = j.result.End
+		}
+	}
+	m.MeanWait = units.Duration(wait.Mean())
+	m.MeanEfficiency = eff.Mean()
+	m.PeakUtilization = float64(c.peak) / float64(c.spec.Machine.Nodes)
+	if m.MakespanEnd > 0 {
+		m.AvgUtilization = c.busyIntegral / (float64(c.spec.Machine.Nodes) * float64(m.MakespanEnd))
+	}
+	return m, nil
+}
+
+// arrive enqueues an application and triggers a mapping event.
+func (c *run) arrive(j *job) {
+	j.arrived = true
+	c.queue = append(c.queue, j)
+	c.triggerMapping()
+}
+
+// triggerMapping schedules a mapping event at the current instant unless
+// one is already pending, coalescing the burst of arrivals at time zero.
+func (c *run) triggerMapping() {
+	if c.mapping || c.err != nil {
+		return
+	}
+	c.mapping = true
+	c.sim.After(0, "mapping", func(*des.Simulator) {
+		c.mapping = false
+		c.mapEvent()
+	})
+}
+
+// mapEvent runs the resource-management heuristic over the queue.
+func (c *run) mapEvent() {
+	if c.err != nil || len(c.queue) == 0 {
+		return
+	}
+	now := c.sim.Now()
+
+	byID := make(map[int]*job, len(c.queue))
+	cands := make([]sched.Candidate, 0, len(c.queue))
+	viableQueue := c.queue[:0]
+	for _, j := range c.queue {
+		if j.exec == nil {
+			if err := c.prepare(j); err != nil {
+				c.err = err
+				c.sim.Stop()
+				return
+			}
+		}
+		if ok, _ := j.exec.Viable(); !ok {
+			// The chosen technique can never execute this application
+			// (e.g. its replica set exceeds the machine): drop it now
+			// rather than let it sit in the queue forever.
+			c.resolve(j, AppResult{
+				App: j.app, Technique: j.tech,
+				Outcome: OutcomeDroppedQueued, End: now,
+			})
+			continue
+		}
+		viableQueue = append(viableQueue, j)
+		byID[j.app.ID] = j
+		cands = append(cands, sched.Candidate{
+			ID:       j.app.ID,
+			Nodes:    j.phys,
+			Arrival:  j.app.Arrival,
+			Baseline: j.app.Baseline(),
+			Deadline: j.app.Deadline,
+		})
+	}
+	c.queue = viableQueue
+	if len(c.queue) == 0 {
+		return
+	}
+
+	var running []sched.Running
+	for _, j := range c.jobs {
+		if j.running {
+			running = append(running, sched.Running{Nodes: j.phys, ExpectedEnd: j.expectedEnd})
+		}
+	}
+	d := c.mapper.Map(sched.Context{
+		Now:       now,
+		FreeNodes: c.free,
+		Queue:     cands,
+		Running:   running,
+	}, c.mapSrc)
+
+	dropped := make(map[int]bool, len(d.Drop))
+	for _, id := range d.Drop {
+		j := byID[id]
+		if j == nil || dropped[id] {
+			continue
+		}
+		dropped[id] = true
+		c.resolve(j, AppResult{
+			App: j.app, Technique: j.tech,
+			Outcome: OutcomeDroppedQueued, End: now,
+		})
+	}
+
+	started := make(map[int]bool, len(d.Start))
+	for _, id := range d.Start {
+		j := byID[id]
+		if j == nil || dropped[id] || started[id] {
+			continue
+		}
+		if j.phys > c.free {
+			c.err = fmt.Errorf("cluster: %v over-allocated: job %d needs %d nodes, %d free",
+				c.mapper.Kind(), id, j.phys, c.free)
+			c.sim.Stop()
+			return
+		}
+		started[id] = true
+		c.start(j, now)
+	}
+
+	if len(dropped)+len(started) == 0 {
+		return
+	}
+	remaining := c.queue[:0]
+	for _, j := range c.queue {
+		if !dropped[j.app.ID] && !started[j.app.ID] {
+			remaining = append(remaining, j)
+		}
+	}
+	c.queue = remaining
+}
+
+// prepare builds the job's executor (choosing its technique) on first
+// consideration.
+func (c *run) prepare(j *job) error {
+	j.tech = c.chooser(j.app)
+	exec, err := resilience.New(j.tech, j.app, c.spec.Machine, c.spec.Model, c.spec.Resilience)
+	if err != nil {
+		return fmt.Errorf("cluster: building executor for app %d: %w", j.app.ID, err)
+	}
+	j.exec = exec
+	j.phys = exec.PhysicalNodes()
+	return nil
+}
+
+// start places a job on the machine and simulates its execution.
+func (c *run) start(j *job, now units.Duration) {
+	c.noteUtilization()
+	c.free -= j.phys
+	if used := c.spec.Machine.Nodes - c.free; used > c.peak {
+		c.peak = used
+	}
+	j.started = true
+
+	horizon := j.app.Deadline
+	if horizon <= now {
+		if horizon <= 0 {
+			// Deadline-free app: bound the run defensively.
+			horizon = now + units.Duration(100*float64(j.app.Baseline()))
+		} else {
+			// Deadline already passed (can happen under FCFS/Random,
+			// which never drop): it occupies nothing and leaves now.
+			// The mapper's ledger had reserved its nodes, so re-run
+			// mapping at this instant for anything it crowded out.
+			// (The same-instant alloc/free cancels in the utilization
+			// integral.)
+			c.free += j.phys
+			j.started = false
+			c.resolve(j, AppResult{
+				App: j.app, Technique: j.tech,
+				Outcome: OutcomeDroppedQueued, End: now,
+			})
+			c.triggerMapping()
+			return
+		}
+	}
+
+	res := j.exec.Run(now, horizon, rng.Stream(c.spec.Seed, uint64(j.app.ID)+1))
+	end := res.End
+	outcome := OutcomeCompleted
+	if !res.Completed {
+		end = horizon
+		outcome = OutcomeDroppedRunning
+	}
+	if math.IsInf(float64(end), 1) || end <= now {
+		end = now + j.app.Baseline()
+	}
+	j.running = true
+	j.expectedEnd = end
+	c.sim.Schedule(end, "departure", func(*des.Simulator) {
+		c.noteUtilization()
+		c.free += j.phys
+		j.running = false
+		c.resolve(j, AppResult{
+			App: j.app, Technique: j.tech,
+			Outcome: outcome, Started: true, Start: now, End: end,
+		})
+		c.triggerMapping()
+	})
+}
+
+// resolve finalizes a job's fate.
+func (c *run) resolve(j *job, r AppResult) {
+	if j.finished {
+		c.err = fmt.Errorf("cluster: job %d resolved twice", j.app.ID)
+		c.sim.Stop()
+		return
+	}
+	j.finished = true
+	j.result = r
+}

@@ -1,0 +1,161 @@
+// Package core holds the small set of domain types shared by every layer
+// of the simulator — technique identifiers and study-wide enumerations —
+// so that the workload, resilience, scheduling, and experiment packages can
+// agree on vocabulary without importing one another.
+package core
+
+import "fmt"
+
+// Technique identifies one of the HPC resilience strategies compared by the
+// study.
+type Technique int
+
+// The four techniques of the paper (redundancy appears at two degrees, as
+// in Figures 1-3), plus the no-resilience ideal baseline used by the
+// resource-management study.
+const (
+	// Ideal is the failure-free, overhead-free baseline.
+	Ideal Technique = iota
+	// CheckpointRestart is blocking, uncoordinated checkpointing to the
+	// parallel file system with a Daly-optimal period.
+	CheckpointRestart
+	// MultilevelCheckpoint is the three-level scheme of Moody et al.:
+	// local RAM, partner RAM, and parallel file system.
+	MultilevelCheckpoint
+	// ParallelRecovery is message logging with in-memory checkpoints and
+	// parallelized rework, after Meneses et al.
+	ParallelRecovery
+	// PartialRedundancy duplicates half of the application's virtual
+	// nodes (degree r = 1.5) on top of PFS checkpointing.
+	PartialRedundancy
+	// FullRedundancy duplicates every virtual node (degree r = 2.0) on
+	// top of PFS checkpointing.
+	FullRedundancy
+
+	numTechniques
+)
+
+// Techniques lists every real technique (excluding Ideal) in presentation
+// order, matching the bar order of the paper's figures.
+func Techniques() []Technique {
+	return []Technique{
+		CheckpointRestart,
+		MultilevelCheckpoint,
+		ParallelRecovery,
+		PartialRedundancy,
+		FullRedundancy,
+	}
+}
+
+// ClusterTechniques lists the techniques carried into the Section VI/VII
+// cluster studies; the paper drops both redundancy variants there because
+// Section V shows them unviable at exascale.
+func ClusterTechniques() []Technique {
+	return []Technique{CheckpointRestart, MultilevelCheckpoint, ParallelRecovery}
+}
+
+// Valid reports whether t names a known technique.
+func (t Technique) Valid() bool { return t >= Ideal && t < numTechniques }
+
+// String names the technique as the paper does.
+func (t Technique) String() string {
+	switch t {
+	case Ideal:
+		return "Ideal"
+	case CheckpointRestart:
+		return "Checkpoint Restart"
+	case MultilevelCheckpoint:
+		return "Multilevel Checkpoint"
+	case ParallelRecovery:
+		return "Parallel Recovery"
+	case PartialRedundancy:
+		return "Redundancy r=1.5"
+	case FullRedundancy:
+		return "Redundancy r=2.0"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// ParseTechnique maps a CLI-friendly name to a Technique.
+func ParseTechnique(name string) (Technique, error) {
+	switch name {
+	case "ideal":
+		return Ideal, nil
+	case "cr", "checkpoint-restart":
+		return CheckpointRestart, nil
+	case "ml", "multilevel":
+		return MultilevelCheckpoint, nil
+	case "pr", "parallel-recovery":
+		return ParallelRecovery, nil
+	case "red1.5", "partial-redundancy":
+		return PartialRedundancy, nil
+	case "red2.0", "full-redundancy":
+		return FullRedundancy, nil
+	}
+	return 0, fmt.Errorf("core: unknown technique %q", name)
+}
+
+// Scheduler identifies one of the resource-management heuristics of
+// Section III-D.
+type Scheduler int
+
+// The three resource-management techniques.
+const (
+	// FCFS maps applications strictly in arrival order.
+	FCFS Scheduler = iota
+	// RandomOrder maps applications in random order.
+	RandomOrder
+	// SlackBased prioritizes applications with the least schedule slack
+	// and drops those whose deadlines are already unreachable.
+	SlackBased
+	// EASYBackfill is FCFS with EASY backfilling: later applications may
+	// jump the queue if they cannot delay the blocked head's reservation.
+	// It is a repository extension beyond the paper's three heuristics.
+	EASYBackfill
+
+	numSchedulers
+)
+
+// Schedulers lists the paper's heuristics in its presentation order.
+func Schedulers() []Scheduler { return []Scheduler{FCFS, RandomOrder, SlackBased} }
+
+// AllSchedulers lists every implemented heuristic, including the
+// EASY-backfill extension.
+func AllSchedulers() []Scheduler {
+	return []Scheduler{FCFS, RandomOrder, SlackBased, EASYBackfill}
+}
+
+// Valid reports whether s names a known scheduler.
+func (s Scheduler) Valid() bool { return s >= FCFS && s < numSchedulers }
+
+// String names the scheduler as the paper does.
+func (s Scheduler) String() string {
+	switch s {
+	case FCFS:
+		return "FCFS"
+	case RandomOrder:
+		return "Random"
+	case SlackBased:
+		return "Slack-Based"
+	case EASYBackfill:
+		return "EASY-Backfill"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler maps a CLI-friendly name to a Scheduler.
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "fcfs":
+		return FCFS, nil
+	case "random":
+		return RandomOrder, nil
+	case "slack":
+		return SlackBased, nil
+	case "backfill", "easy":
+		return EASYBackfill, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheduler %q", name)
+}

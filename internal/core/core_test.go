@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTechniqueEnumeration(t *testing.T) {
+	ts := Techniques()
+	if len(ts) != 5 {
+		t.Fatalf("Techniques() lists %d, want 5", len(ts))
+	}
+	seen := map[Technique]bool{}
+	for _, tech := range ts {
+		if !tech.Valid() {
+			t.Errorf("%v not valid", tech)
+		}
+		if tech == Ideal {
+			t.Error("Ideal should not appear among the real techniques")
+		}
+		if seen[tech] {
+			t.Errorf("duplicate technique %v", tech)
+		}
+		seen[tech] = true
+	}
+	if len(ClusterTechniques()) != 3 {
+		t.Error("cluster studies use 3 techniques")
+	}
+	for _, tech := range ClusterTechniques() {
+		if tech == PartialRedundancy || tech == FullRedundancy {
+			t.Error("redundancy should be excluded from cluster studies")
+		}
+	}
+}
+
+func TestTechniqueStrings(t *testing.T) {
+	want := map[Technique]string{
+		Ideal:                "Ideal",
+		CheckpointRestart:    "Checkpoint Restart",
+		MultilevelCheckpoint: "Multilevel Checkpoint",
+		ParallelRecovery:     "Parallel Recovery",
+		PartialRedundancy:    "Redundancy r=1.5",
+		FullRedundancy:       "Redundancy r=2.0",
+	}
+	for tech, s := range want {
+		if tech.String() != s {
+			t.Errorf("%d.String() = %q, want %q", tech, tech.String(), s)
+		}
+	}
+	if !strings.Contains(Technique(42).String(), "42") {
+		t.Error("unknown technique should render its number")
+	}
+	if Technique(42).Valid() {
+		t.Error("Technique(42) should be invalid")
+	}
+}
+
+func TestParseTechniqueRoundTrip(t *testing.T) {
+	names := map[string]Technique{
+		"ideal":              Ideal,
+		"cr":                 CheckpointRestart,
+		"checkpoint-restart": CheckpointRestart,
+		"ml":                 MultilevelCheckpoint,
+		"multilevel":         MultilevelCheckpoint,
+		"pr":                 ParallelRecovery,
+		"parallel-recovery":  ParallelRecovery,
+		"red1.5":             PartialRedundancy,
+		"red2.0":             FullRedundancy,
+	}
+	for name, want := range names {
+		got, err := ParseTechnique(name)
+		if err != nil || got != want {
+			t.Errorf("ParseTechnique(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseTechnique("bogus"); err == nil {
+		t.Error("bogus technique accepted")
+	}
+}
+
+func TestSchedulerEnumeration(t *testing.T) {
+	if len(Schedulers()) != 3 {
+		t.Error("the paper evaluates 3 schedulers")
+	}
+	if len(AllSchedulers()) != 4 {
+		t.Error("AllSchedulers should add the backfill extension")
+	}
+	for _, s := range AllSchedulers() {
+		if !s.Valid() {
+			t.Errorf("%v invalid", s)
+		}
+		if s.String() == "" || strings.HasPrefix(s.String(), "Scheduler(") {
+			t.Errorf("%d has no name", s)
+		}
+	}
+	if Scheduler(9).Valid() {
+		t.Error("Scheduler(9) should be invalid")
+	}
+	if !strings.Contains(Scheduler(9).String(), "9") {
+		t.Error("unknown scheduler should render its number")
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	names := map[string]Scheduler{
+		"fcfs":     FCFS,
+		"random":   RandomOrder,
+		"slack":    SlackBased,
+		"backfill": EASYBackfill,
+		"easy":     EASYBackfill,
+	}
+	for name, want := range names {
+		got, err := ParseScheduler(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScheduler(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScheduler("lifo"); err == nil {
+		t.Error("unknown scheduler name accepted")
+	}
+}

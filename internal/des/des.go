@@ -1,0 +1,187 @@
+// Package des implements the discrete-event simulation engine at the heart
+// of the exascale resilience study.
+//
+// The engine is intentionally minimal: a simulation owns a clock and a
+// priority queue of scheduled events; each event carries a callback that
+// may schedule or cancel further events. Determinism is guaranteed by
+// breaking time ties with a monotonically increasing sequence number, so a
+// simulation driven by deterministic callbacks and a seeded rng.Source
+// always replays identically.
+//
+// Cancellation is a first-class operation because resilience executors
+// frequently invalidate pending work: a node failure cancels the
+// application's scheduled checkpoint-completion and completion events. The
+// event queue is an indexed binary heap, making cancellation O(log n)
+// rather than the O(n) of lazy deletion schemes.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"exaresil/internal/units"
+)
+
+// Callback is the work an event performs when it fires. The simulator
+// passes itself so callbacks can schedule follow-on events.
+type Callback func(sim *Simulator)
+
+// Event is a scheduled occurrence. The zero value is meaningless; events
+// are created by Simulator.Schedule and friends. An Event value can be used
+// to cancel the occurrence before it fires.
+type Event struct {
+	at    units.Duration
+	seq   uint64
+	index int // position in the heap, -1 once fired or canceled
+	fn    Callback
+	label string
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() units.Duration { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still in the queue.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// eventHeap is an indexed min-heap ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Tracer receives a notification immediately before each event fires.
+// It exists for debugging and for the simulator's own tests; production
+// studies leave it nil.
+type Tracer func(at units.Duration, label string)
+
+// Simulator is a discrete-event simulation run. The zero value is ready to
+// use. Simulators are not safe for concurrent use; parallel studies run one
+// Simulator per goroutine.
+type Simulator struct {
+	now     units.Duration
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+
+	// Trace, when non-nil, observes every fired event.
+	Trace Tracer
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current simulation time.
+func (s *Simulator) Now() units.Duration { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events remain scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule arranges for fn to run at absolute time at, returning the event
+// for possible cancellation. Scheduling in the past (before Now) panics:
+// it always indicates a logic error in an executor, and letting time run
+// backwards would corrupt every statistic downstream.
+func (s *Simulator) Schedule(at units.Duration, label string, fn Callback) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule %q at %v before now %v", label, at, s.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After arranges for fn to run d after the current time. Negative delays
+// panic, matching Schedule.
+func (s *Simulator) After(d units.Duration, label string, fn Callback) *Event {
+	return s.Schedule(s.now+d, label, fn)
+}
+
+// Cancel removes a pending event from the queue. Canceling an event that
+// has already fired or been canceled is a harmless no-op, which lets
+// executors unconditionally cancel whatever handles they hold.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// callback completes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports false if the queue was empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.at < s.now {
+		panic("des: event queue time went backwards")
+	}
+	s.now = e.at
+	s.fired++
+	if s.Trace != nil {
+		s.Trace(e.at, e.label)
+	}
+	e.fn(s)
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= horizon, then advances the clock to
+// exactly horizon. Events scheduled beyond the horizon stay queued.
+func (s *Simulator) RunUntil(horizon units.Duration) {
+	if horizon < s.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", horizon, s.now))
+	}
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= horizon {
+		s.Step()
+	}
+	if !s.stopped {
+		s.now = horizon
+	}
+}

@@ -1,0 +1,258 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"exaresil/internal/units"
+)
+
+func TestFiringOrder(t *testing.T) {
+	s := New()
+	var got []units.Duration
+	for _, at := range []units.Duration{5, 1, 3, 2, 4} {
+		s.Schedule(at, "e", func(sim *Simulator) {
+			got = append(got, sim.Now())
+		})
+	}
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(7, "tie", func(*Simulator) { order = append(order, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("simultaneous events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.Schedule(10, "a", func(sim *Simulator) {
+		if sim.Now() != 10 {
+			t.Errorf("Now()=%v inside event at 10", sim.Now())
+		}
+		sim.After(5, "b", func(sim *Simulator) {
+			if sim.Now() != 15 {
+				t.Errorf("Now()=%v inside chained event, want 15", sim.Now())
+			}
+		})
+	})
+	s.Run()
+	if s.Now() != 15 {
+		t.Errorf("final clock %v, want 15", s.Now())
+	}
+	if s.Fired() != 2 {
+		t.Errorf("fired %d, want 2", s.Fired())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, "victim", func(*Simulator) { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Pending() {
+		t.Error("canceled event still pending")
+	}
+	// Double-cancel and cancel-after-fire must be harmless.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []string
+	keep1 := s.Schedule(1, "keep1", func(*Simulator) { got = append(got, "keep1") })
+	victim := s.Schedule(2, "victim", func(*Simulator) { got = append(got, "victim") })
+	keep2 := s.Schedule(3, "keep2", func(*Simulator) { got = append(got, "keep2") })
+	_ = keep1
+	_ = keep2
+	s.Cancel(victim)
+	s.Run()
+	if len(got) != 2 || got[0] != "keep1" || got[1] != "keep2" {
+		t.Errorf("got %v, want [keep1 keep2]", got)
+	}
+}
+
+func TestCancelFromCallback(t *testing.T) {
+	s := New()
+	fired := false
+	victim := s.Schedule(5, "victim", func(*Simulator) { fired = true })
+	s.Schedule(1, "canceler", func(sim *Simulator) { sim.Cancel(victim) })
+	s.Run()
+	if fired {
+		t.Error("event canceled from a callback still fired")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, "advance", func(*Simulator) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	s.Schedule(5, "late", func(*Simulator) {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback should panic")
+		}
+	}()
+	New().Schedule(1, "nil", nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []units.Duration
+	for _, at := range []units.Duration{1, 2, 3, 10, 20} {
+		s.Schedule(at, "e", func(sim *Simulator) { fired = append(fired, sim.Now()) })
+	}
+	s.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3", len(fired))
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock %v after RunUntil(5)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("%d events pending, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Errorf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := units.Duration(1); i <= 10; i++ {
+		s.Schedule(i, "e", func(sim *Simulator) {
+			count++
+			if count == 3 {
+				sim.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("fired %d events after Stop at 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("%d pending after Stop, want 7", s.Pending())
+	}
+	s.Run() // resumes
+	if count != 10 {
+		t.Errorf("resumed run fired %d total, want 10", count)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	s := New()
+	var labels []string
+	s.Trace = func(_ units.Duration, label string) { labels = append(labels, label) }
+	s.Schedule(1, "first", func(*Simulator) {})
+	s.Schedule(2, "second", func(*Simulator) {})
+	s.Run()
+	if len(labels) != 2 || labels[0] != "first" || labels[1] != "second" {
+		t.Errorf("trace saw %v", labels)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	if New().Step() {
+		t.Error("Step on empty queue reported true")
+	}
+}
+
+// TestHeapPropertyRandomSchedules drives the queue with arbitrary schedules
+// and cancellations and checks events always fire in nondecreasing time
+// order with none lost.
+func TestHeapPropertyRandomSchedules(t *testing.T) {
+	prop := func(times []uint16, cancelMask []bool) bool {
+		s := New()
+		type rec struct {
+			ev       *Event
+			canceled bool
+		}
+		var recs []rec
+		fired := map[*Event]bool{}
+		var firedOrder []units.Duration
+		for i, raw := range times {
+			at := units.Duration(raw)
+			ev := s.Schedule(at, "p", func(sim *Simulator) {
+				firedOrder = append(firedOrder, sim.Now())
+			})
+			canceled := i < len(cancelMask) && cancelMask[i]
+			recs = append(recs, rec{ev, canceled})
+		}
+		for _, r := range recs {
+			if r.canceled {
+				s.Cancel(r.ev)
+			}
+		}
+		s.Run()
+		// Order check.
+		for i := 1; i < len(firedOrder); i++ {
+			if firedOrder[i] < firedOrder[i-1] {
+				return false
+			}
+		}
+		// Conservation check: fired + canceled == scheduled.
+		want := 0
+		for _, r := range recs {
+			if !r.canceled {
+				want++
+			}
+			fired[r.ev] = true
+		}
+		return len(firedOrder) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.After(1, "bench", func(*Simulator) {})
+		s.Step()
+	}
+}
+
+func BenchmarkDeepQueue(b *testing.B) {
+	s := New()
+	for i := 0; i < 10000; i++ {
+		s.Schedule(units.Duration(i)+1e9, "deep", func(*Simulator) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.After(1, "bench", func(*Simulator) {})
+		s.Cancel(e)
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"exaresil/internal/cluster"
+	"exaresil/internal/core"
+	"exaresil/internal/report"
+	"exaresil/internal/rng"
+	"exaresil/internal/stats"
+	"exaresil/internal/workload"
+)
+
+// ClusterSpec configures the Figure 4 study: percentage of dropped
+// applications for every resource-management and resilience-technique
+// combination over a set of arrival patterns, against the Ideal baseline.
+type ClusterSpec struct {
+	Config
+	// Patterns is the number of arrival patterns (paper: 50).
+	Patterns int
+	// Arrivals is the number of applications per pattern (paper: 100).
+	Arrivals int
+	// Bias selects the pattern population (Figure 4 uses Unbiased).
+	Bias workload.Bias
+	// Schedulers and Techniques enumerate the combinations (defaults:
+	// all three schedulers; Ideal plus the three cluster techniques).
+	Schedulers []core.Scheduler
+	Techniques []core.Technique
+}
+
+// ClusterCell is one bar of Figure 4.
+type ClusterCell struct {
+	Scheduler core.Scheduler
+	Technique core.Technique
+	// Dropped is the percentage of applications dropped, summarized over
+	// patterns.
+	Dropped stats.Summary
+	// MeanWaitMinutes summarizes queueing delay over patterns.
+	MeanWaitMinutes stats.Summary
+}
+
+// ClusterResult is the figure's full data set.
+type ClusterResult struct {
+	Bias  workload.Bias
+	Cells []ClusterCell
+}
+
+// Cell finds one scheduler/technique combination.
+func (r ClusterResult) Cell(s core.Scheduler, t core.Technique) (ClusterCell, bool) {
+	for _, c := range r.Cells {
+		if c.Scheduler == s && c.Technique == t {
+			return c, true
+		}
+	}
+	return ClusterCell{}, false
+}
+
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if s.Patterns == 0 {
+		s.Patterns = 50
+	}
+	if s.Arrivals == 0 {
+		s.Arrivals = 100
+	}
+	if s.Schedulers == nil {
+		s.Schedulers = core.Schedulers()
+	}
+	if s.Techniques == nil {
+		s.Techniques = append([]core.Technique{core.Ideal}, core.ClusterTechniques()...)
+	}
+	return s
+}
+
+// patterns generates the study's shared arrival patterns: every
+// combination sees the same submissions, as in the paper, so differences
+// between cells are attributable to the techniques alone.
+func (s ClusterSpec) patterns() []workload.Pattern {
+	out := make([]workload.Pattern, s.Patterns)
+	for p := range out {
+		spec := workload.PatternSpec{
+			Arrivals:   s.Arrivals,
+			Bias:       s.Bias,
+			FillSystem: true,
+		}
+		out[p] = spec.Generate(s.Machine, rng.Stream(s.Seed, uint64(p)))
+	}
+	return out
+}
+
+// runCells evaluates dropped-percentage statistics for each
+// (scheduler, chooser) cell over the shared patterns, in parallel across
+// cells and patterns. The chooser map allows Figure 5 to reuse the same
+// machinery with per-application technique selection.
+func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
+	pats := s.patterns()
+	model, err := s.model(0)
+	if err != nil {
+		return nil, err
+	}
+
+	type task struct {
+		combo, pattern int
+	}
+	type outcome struct {
+		task task
+		pct  float64
+		wait float64
+		err  error
+	}
+
+	tasks := make(chan task)
+	results := make(chan outcome)
+	workers := s.workers()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				cb := combos[tk.combo]
+				spec := cluster.Spec{
+					Machine:    s.Machine,
+					Model:      model,
+					Scheduler:  cb.scheduler,
+					Technique:  cb.technique,
+					Chooser:    cb.chooser,
+					Resilience: s.Resilience,
+					Pattern:    pats[tk.pattern],
+					Seed:       s.Seed ^ (uint64(tk.pattern+1) * 0xd1342543de82ef95),
+				}
+				m, err := cluster.Run(spec)
+				results <- outcome{
+					task: tk,
+					pct:  m.DroppedPct(),
+					wait: m.MeanWait.Minutes(),
+					err:  err,
+				}
+			}
+		}()
+	}
+	go func() {
+		for ci := range combos {
+			for p := 0; p < s.Patterns; p++ {
+				tasks <- task{ci, p}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make([]comboResult, len(combos))
+	var firstErr error
+	for oc := range results {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			continue
+		}
+		out[oc.task.combo].dropped.Add(oc.pct)
+		out[oc.task.combo].wait.Add(oc.wait)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// comboSpec is one cell's policy; comboResult its accumulated outcome.
+type comboSpec struct {
+	scheduler core.Scheduler
+	technique core.Technique
+	chooser   cluster.TechniqueChooser
+}
+
+type comboResult struct {
+	dropped, wait stats.Accumulator
+}
+
+// Run executes the Figure 4 study and renders its table.
+func (s ClusterSpec) Run() (*report.Table, ClusterResult, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, ClusterResult{}, err
+	}
+
+	var combos []comboSpec
+	for _, sch := range s.Schedulers {
+		for _, tech := range s.Techniques {
+			combos = append(combos, comboSpec{scheduler: sch, technique: tech})
+		}
+	}
+	raw, err := s.runCells(combos)
+	if err != nil {
+		return nil, ClusterResult{}, err
+	}
+
+	result := ClusterResult{Bias: s.Bias}
+	cols := []string{"scheduler"}
+	for _, tech := range s.Techniques {
+		cols = append(cols, tech.String())
+	}
+	t := report.New("Percentage of applications dropped per resilience x resource-management combination", cols...)
+	t.AddNote("mean ± stddev over %d arrival patterns of %d applications each (%s population)",
+		s.Patterns, s.Arrivals, s.Bias)
+	t.AddNote("machine %s; system starts full; Poisson arrivals every 2 h (mean)", s.Machine.Name)
+
+	i := 0
+	for _, sch := range s.Schedulers {
+		row := []string{sch.String()}
+		for _, tech := range s.Techniques {
+			sum := raw[i].dropped.Summarize()
+			result.Cells = append(result.Cells, ClusterCell{
+				Scheduler:       sch,
+				Technique:       tech,
+				Dropped:         sum,
+				MeanWaitMinutes: raw[i].wait.Summarize(),
+			})
+			row = append(row, report.Pct(sum.Mean, sum.StdDev))
+			i++
+		}
+		t.AddRow(row...)
+	}
+	if i != len(raw) {
+		return nil, ClusterResult{}, fmt.Errorf("experiments: combo bookkeeping mismatch")
+	}
+	return t, result, nil
+}
+
+// Figure4 runs the cluster study with paper defaults at the given pattern
+// count (0 means the paper's 50).
+func Figure4(cfg Config, patterns int) (*report.Table, ClusterResult, error) {
+	return ClusterSpec{Config: cfg, Patterns: patterns}.Run()
+}

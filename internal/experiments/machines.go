@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exaresil/internal/appsim"
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/report"
+	"exaresil/internal/resilience"
+	"exaresil/internal/selection"
+	"exaresil/internal/stats"
+	"exaresil/internal/workload"
+)
+
+// MachinesSpec configures the cross-machine study: each technique's
+// efficiency for the same application class at the same machine *fraction*
+// on today's reference machine (Sunway TaihuLight, ~40k nodes) and on the
+// projected exascale machine — making the paper's framing concrete: an
+// application "considered large today" is a rounding error at exascale,
+// and techniques that are fine at petascale fall over at the next scale.
+type MachinesSpec struct {
+	Config
+	// Machines are the platforms to compare (default: TaihuLight and the
+	// exascale projection, both at the Config's severity distribution and
+	// each machine's own MTBF).
+	Machines []machine.Config
+	// Class and Fraction pick the application (defaults C64 at 25%).
+	Class    workload.Class
+	Fraction float64
+	// Trials per cell (default 50).
+	Trials int
+}
+
+// MachineCell is one technique on one machine.
+type MachineCell struct {
+	Machine    string
+	Technique  core.Technique
+	Nodes      int
+	Efficiency stats.Summary
+}
+
+// MachinesResult is the study's data set.
+type MachinesResult struct{ Cells []MachineCell }
+
+// Cell finds one machine/technique pair.
+func (r MachinesResult) Cell(machineName string, t core.Technique) (MachineCell, bool) {
+	for _, c := range r.Cells {
+		if c.Machine == machineName && c.Technique == t {
+			return c, true
+		}
+	}
+	return MachineCell{}, false
+}
+
+// Run executes the study.
+func (s MachinesSpec) Run() (*report.Table, MachinesResult, error) {
+	if s.Machines == nil {
+		s.Machines = []machine.Config{machine.SunwayTaihuLight(), machine.Exascale()}
+	}
+	if s.Class.Name == "" {
+		s.Class = workload.C64
+	}
+	if s.Fraction == 0 {
+		s.Fraction = 0.25
+	}
+	if s.Trials == 0 {
+		s.Trials = 50
+	}
+	if err := s.SeverityPMF.Validate(); err != nil {
+		return nil, MachinesResult{}, err
+	}
+	if err := s.Resilience.Validate(); err != nil {
+		return nil, MachinesResult{}, err
+	}
+
+	techniques := core.Techniques()
+	cols := []string{"machine", "nodes used"}
+	for _, tech := range techniques {
+		cols = append(cols, tech.String())
+	}
+	t := report.New(
+		fmt.Sprintf("Cross-machine comparison (%s at %s of each machine)", s.Class.Name, fracLabel(s.Fraction)),
+		cols...)
+	t.AddNote("same application class and machine fraction; each machine at its own MTBF")
+	t.AddNote("mean ± stddev of %d trials", s.Trials)
+
+	var result MachinesResult
+	for _, cfg := range s.Machines {
+		if err := cfg.Validate(); err != nil {
+			return nil, MachinesResult{}, err
+		}
+		model, err := failures.NewModel(cfg.MTBF, s.SeverityPMF)
+		if err != nil {
+			return nil, MachinesResult{}, err
+		}
+		app := workload.App{
+			Class:     s.Class,
+			TimeSteps: 1440,
+			Nodes:     cfg.NodesForFraction(s.Fraction),
+		}
+		row := []string{cfg.Name, report.I(app.Nodes)}
+		for ti, tech := range techniques {
+			x, err := resilience.New(tech, app, cfg, model, s.Resilience)
+			if err != nil {
+				return nil, MachinesResult{}, err
+			}
+			st := appsim.Run(appsim.TrialSpec{
+				Executor: x,
+				Trials:   s.Trials,
+				Seed:     s.Seed ^ uint64(ti+401)*0x9e3779b97f4a7c15,
+				Workers:  s.workers(),
+			})
+			result.Cells = append(result.Cells, MachineCell{
+				Machine:    cfg.Name,
+				Technique:  tech,
+				Nodes:      app.Nodes,
+				Efficiency: st.Efficiency,
+			})
+			row = append(row, report.Eff(st.Efficiency.Mean, st.Efficiency.StdDev))
+		}
+		t.AddRow(row...)
+	}
+	return t, result, nil
+}
+
+// PolicyTable renders the Resilience Selection policy the Section VII
+// study learns: the winning technique and per-candidate probe efficiencies
+// for every (class, size) cell.
+func PolicyTable(cfg Config, opts selection.Options) (*report.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := cfg.model(0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed ^ 0xa0761d6478bd642f
+	}
+	sel, err := selection.NewSelector(cfg.Machine, model, cfg.Resilience, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cols := []string{"class", "size", "best technique"}
+	for _, tech := range sel.Techniques() {
+		cols = append(cols, tech.String())
+	}
+	t := report.New("Resilience Selection policy (probe efficiencies per cell)", cols...)
+	t.AddNote("machine %s; the chooser picks the row's best technique for arriving applications", cfg.Machine.Name)
+	for _, c := range sel.Choices() {
+		row := []string{c.Class.Name, fracLabel(c.Fraction), c.Best.String()}
+		for _, e := range c.Efficiency {
+			row = append(row, fmt.Sprintf("%.3f", e))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"exaresil/internal/cluster"
+	"exaresil/internal/core"
+	"exaresil/internal/report"
+	"exaresil/internal/selection"
+	"exaresil/internal/stats"
+	"exaresil/internal/workload"
+)
+
+// SelectionSpec configures the Figure 5 study: each resource-management
+// technique running everything under Parallel Recovery versus running with
+// per-application Resilience Selection, over four arrival-pattern
+// populations (unbiased, high-memory, high-communication, large).
+type SelectionSpec struct {
+	Config
+	// Patterns and Arrivals size the study (paper: 50 x 100).
+	Patterns int
+	Arrivals int
+	// Biases enumerates the pattern populations (default: all four).
+	Biases []workload.Bias
+	// Schedulers enumerates the RM techniques (default: all three).
+	Schedulers []core.Scheduler
+	// Baseline is the fixed technique compared against Selection
+	// (default: Parallel Recovery, the paper's most consistent winner).
+	Baseline core.Technique
+	// Selection tunes selector construction.
+	Selection selection.Options
+}
+
+// SelectionCell is one pair of bars in Figure 5.
+type SelectionCell struct {
+	Bias      workload.Bias
+	Scheduler core.Scheduler
+	// Baseline and Selected are the dropped percentages under the fixed
+	// baseline technique and under Resilience Selection.
+	Baseline, Selected stats.Summary
+}
+
+// SelectionResult is the figure's full data set.
+type SelectionResult struct {
+	Cells []SelectionCell
+	// Table is the selection policy the study used.
+	Table []selection.Choice
+}
+
+// Cell finds one bias/scheduler combination.
+func (r SelectionResult) Cell(b workload.Bias, s core.Scheduler) (SelectionCell, bool) {
+	for _, c := range r.Cells {
+		if c.Bias == b && c.Scheduler == s {
+			return c, true
+		}
+	}
+	return SelectionCell{}, false
+}
+
+func (s SelectionSpec) withDefaults() SelectionSpec {
+	if s.Patterns == 0 {
+		s.Patterns = 50
+	}
+	if s.Arrivals == 0 {
+		s.Arrivals = 100
+	}
+	if s.Biases == nil {
+		s.Biases = workload.Biases()
+	}
+	if s.Schedulers == nil {
+		s.Schedulers = core.Schedulers()
+	}
+	if !s.Baseline.Valid() || s.Baseline == core.Ideal {
+		s.Baseline = core.ParallelRecovery
+	}
+	return s
+}
+
+// Run executes the Figure 5 study and renders its table.
+func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, SelectionResult{}, err
+	}
+	model, err := s.model(0)
+	if err != nil {
+		return nil, SelectionResult{}, err
+	}
+
+	selOpts := s.Selection
+	if selOpts.Seed == 0 {
+		selOpts.Seed = s.Seed ^ 0xa0761d6478bd642f
+	}
+	selector, err := selection.NewSelector(s.Machine, model, s.Resilience, selOpts)
+	if err != nil {
+		return nil, SelectionResult{}, err
+	}
+
+	result := SelectionResult{Table: selector.Choices()}
+	t := report.New("Percentage of applications dropped: fixed Parallel Recovery vs. Resilience Selection",
+		"arrival pattern", "scheduler", s.Baseline.String(), "Resilience Selection")
+	t.AddNote("mean ± stddev over %d arrival patterns of %d applications each", s.Patterns, s.Arrivals)
+
+	for _, bias := range s.Biases {
+		cs := ClusterSpec{
+			Config:   s.Config,
+			Patterns: s.Patterns,
+			Arrivals: s.Arrivals,
+			Bias:     bias,
+		}
+		combos := make([]comboSpec, 0, 2*len(s.Schedulers))
+		for _, sch := range s.Schedulers {
+			combos = append(combos,
+				comboSpec{scheduler: sch, technique: s.Baseline},
+				comboSpec{scheduler: sch, chooser: cluster.TechniqueChooser(selector.Choose)},
+			)
+		}
+		raw, err := cs.runCells(combos)
+		if err != nil {
+			return nil, SelectionResult{}, err
+		}
+		for i, sch := range s.Schedulers {
+			base := raw[2*i].dropped.Summarize()
+			sel := raw[2*i+1].dropped.Summarize()
+			result.Cells = append(result.Cells, SelectionCell{
+				Bias:      bias,
+				Scheduler: sch,
+				Baseline:  base,
+				Selected:  sel,
+			})
+			t.AddRow(bias.String(), sch.String(),
+				report.Pct(base.Mean, base.StdDev),
+				report.Pct(sel.Mean, sel.StdDev))
+		}
+	}
+	return t, result, nil
+}
+
+// Figure5 runs the resilience-selection study with paper defaults at the
+// given pattern count (0 means the paper's 50).
+func Figure5(cfg Config, patterns int) (*report.Table, SelectionResult, error) {
+	return SelectionSpec{Config: cfg, Patterns: patterns}.Run()
+}

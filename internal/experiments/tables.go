@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exaresil/internal/report"
+	"exaresil/internal/resilience"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// TableI renders the application-type grid of Table I: communication
+// intensity crossed with per-node memory footprint.
+func TableI() *report.Table {
+	t := report.New("Table I: Characteristics of Application Types",
+		"communication intensity", "32 GB", "64 GB")
+	t.AddNote("each cell names a synthetic benchmark class; T_C is the per-step communication fraction")
+	rows := [][3]workload.Class{
+		{workload.A32, workload.A32, workload.A64},
+		{workload.B32, workload.B32, workload.B64},
+		{workload.C32, workload.C32, workload.C64},
+		{workload.D32, workload.D32, workload.D64},
+	}
+	for _, r := range rows {
+		label := fmt.Sprintf("%.0f%% (T_C = %.2f)", 100*r[0].CommFraction, r[0].CommFraction)
+		t.AddRow(label, r[1].Name, r[2].Name)
+	}
+	return t
+}
+
+// TableIISpec selects the reference application whose live parameter
+// values Table II is evaluated for.
+type TableIISpec struct {
+	Config
+	// Class and Fraction pick the reference application (default: C64 at
+	// one quarter of the machine).
+	Class    workload.Class
+	Fraction float64
+	// TimeSteps is the reference application length (default 1440).
+	TimeSteps int
+}
+
+// Run renders Table II: every resilience-technique parameter of the model,
+// with the symbolic role the paper lists and the concrete value it takes
+// for the reference application on the configured machine.
+func (s TableIISpec) Run() (*report.Table, error) {
+	if s.Class.Name == "" {
+		s.Class = workload.C64
+	}
+	if s.Fraction == 0 {
+		s.Fraction = 0.25
+	}
+	if s.TimeSteps == 0 {
+		s.TimeSteps = 1440
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := s.model(0)
+	if err != nil {
+		return nil, err
+	}
+
+	app := workload.App{
+		Class:     s.Class,
+		TimeSteps: s.TimeSteps,
+		Nodes:     s.Machine.NodesForFraction(s.Fraction),
+	}
+	costs := resilience.ComputeCosts(app, s.Machine)
+	rate := model.Rate(app.Nodes)
+	tau, tauOK := resilience.DalyPeriod(costs.PFS, rate)
+	tauStr := "n/a (non-positive)"
+	if tauOK {
+		tauStr = tau.String()
+	}
+	mu := resilience.MessageLoggingSlowdown(app.Class)
+
+	t := report.New("Table II: Resilience Technique Parameters",
+		"parameter", "use in modeling", "value")
+	t.AddNote("reference application: %s on %d nodes (%s of %s), T_S = %d",
+		app.Class.Name, app.Nodes, fracLabel(s.Fraction), s.Machine.Name, app.TimeSteps)
+	t.AddRow("T_S", "application length (time steps)", report.I(app.TimeSteps))
+	t.AddRow("T_C", "portion of each time step spent on communication", report.F(app.Class.CommFraction))
+	t.AddRow("T_W", "portion of each time step spent on computation work", report.F(app.Class.WorkFraction()))
+	t.AddRow("N_m", "memory used by the application (per node)", app.Class.MemoryPerNode.String())
+	t.AddRow("N_a", "number of system nodes used by the application", report.I(app.Nodes))
+	t.AddRow("L", "network latency", s.Machine.Network.Latency.String())
+	t.AddRow("B_N", "communication bandwidth", s.Machine.Network.Bandwidth.String())
+	t.AddRow("N_S", "number of network switch connections", report.I(s.Machine.Network.SwitchConnections))
+	t.AddRow("lambda_a", "application failure rate", rate.String())
+	t.AddRow("M_n", "system component MTBF", s.Machine.MTBF.String())
+	t.AddRow("tau", "optimal checkpoint period", tauStr)
+	t.AddRow("T_C_PFS", "time required to checkpoint to a PFS", costs.PFS.String())
+	t.AddRow("T_C_L1", "time required for a level one checkpoint", costs.L1.String())
+	t.AddRow("T_C_L2", "time required for a level two checkpoint", costs.L2.String())
+	t.AddRow("mu", "message logging slowdown", report.F(mu))
+	t.AddRow("r", "degree of redundancy", "1.5 (partial) / 2.0 (full)")
+	return t, nil
+}
+
+// TableII runs TableIISpec with paper defaults.
+func TableII(cfg Config) (*report.Table, error) {
+	return TableIISpec{Config: cfg}.Run()
+}
+
+// mtbfLabel formats an MTBF for table notes.
+func mtbfLabel(d units.Duration) string {
+	return fmt.Sprintf("%.3g-year", d.Years())
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exaresil/internal/appsim"
+	"exaresil/internal/core"
+	"exaresil/internal/report"
+	"exaresil/internal/resilience"
+	"exaresil/internal/stats"
+	"exaresil/internal/workload"
+)
+
+// TauSweepSpec configures the checkpoint-period ablation: technique
+// efficiency as the checkpoint interval is scaled away from its computed
+// optimum (Daly's Eq. 4 for the single-level techniques, the Markov-style
+// optimizer for multilevel). If the period selection is right, efficiency
+// should peak at scale 1.
+type TauSweepSpec struct {
+	Config
+	// Class and Fraction pick the application (defaults C64 at 25%).
+	Class    workload.Class
+	Fraction float64
+	// Scales is the sweep (default 1/4, 1/2, 1, 2, 4).
+	Scales []float64
+	// Trials per point (default 60).
+	Trials int
+}
+
+// TauPoint is one technique at one period scale.
+type TauPoint struct {
+	Technique  core.Technique
+	Scale      float64
+	Efficiency stats.Summary
+}
+
+// TauResult is the ablation's data set.
+type TauResult struct{ Points []TauPoint }
+
+// Point finds one technique/scale pair.
+func (r TauResult) Point(t core.Technique, scale float64) (TauPoint, bool) {
+	for _, p := range r.Points {
+		if p.Technique == t && p.Scale == scale {
+			return p, true
+		}
+	}
+	return TauPoint{}, false
+}
+
+// Run executes the ablation.
+func (s TauSweepSpec) Run() (*report.Table, TauResult, error) {
+	if s.Class.Name == "" {
+		s.Class = workload.C64
+	}
+	if s.Fraction == 0 {
+		s.Fraction = 0.25
+	}
+	if s.Scales == nil {
+		s.Scales = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	if s.Trials == 0 {
+		s.Trials = 60
+	}
+	if err := s.Validate(); err != nil {
+		return nil, TauResult{}, err
+	}
+	model, err := s.model(0)
+	if err != nil {
+		return nil, TauResult{}, err
+	}
+
+	techniques := []core.Technique{core.CheckpointRestart, core.MultilevelCheckpoint, core.ParallelRecovery}
+	cols := []string{"period scale"}
+	for _, tech := range techniques {
+		cols = append(cols, tech.String())
+	}
+	t := report.New(
+		fmt.Sprintf("Checkpoint-period ablation (%s at %s of the machine)", s.Class.Name, fracLabel(s.Fraction)),
+		cols...)
+	t.AddNote("scale 1 is the computed optimum (Daly Eq. 4 / multilevel optimizer); efficiency should peak there")
+	t.AddNote("mean ± stddev of %d trials", s.Trials)
+
+	var result TauResult
+	app := workload.App{Class: s.Class, TimeSteps: 1440, Nodes: s.Machine.NodesForFraction(s.Fraction)}
+	for _, scale := range s.Scales {
+		rc := s.Resilience
+		rc.PeriodScale = scale
+		row := []string{report.F(scale)}
+		for ti, tech := range techniques {
+			x, err := resilience.New(tech, app, s.Machine, model, rc)
+			if err != nil {
+				return nil, TauResult{}, err
+			}
+			st := appsim.Run(appsim.TrialSpec{
+				Executor: x,
+				Trials:   s.Trials,
+				Seed:     s.Seed ^ uint64(ti+301)*0x9e3779b97f4a7c15,
+				Workers:  s.workers(),
+			})
+			result.Points = append(result.Points, TauPoint{
+				Technique:  tech,
+				Scale:      scale,
+				Efficiency: st.Efficiency,
+			})
+			row = append(row, report.Eff(st.Efficiency.Mean, st.Efficiency.StdDev))
+		}
+		t.AddRow(row...)
+	}
+	return t, result, nil
+}
+
+// SemiBlockingSpec configures the semi-blocking checkpoint extension
+// study: technique efficiency as the compute rate sustained during
+// checkpoint writes rises from 0 (the paper's blocking model) toward 1 —
+// quantifying how much of checkpointing's cost the non-blocking schemes of
+// the paper's related work (Coti et al., Ni et al.) could recover.
+type SemiBlockingSpec struct {
+	Config
+	// Class and Fraction pick the application (defaults C64 at 50%,
+	// where blocking checkpoint overhead is pronounced).
+	Class    workload.Class
+	Fraction float64
+	// Rates is the sweep (default 0, 0.25, 0.5, 0.75).
+	Rates []float64
+	// Trials per point (default 60).
+	Trials int
+}
+
+// SemiBlockingPoint is one technique at one overlap rate.
+type SemiBlockingPoint struct {
+	Technique  core.Technique
+	Rate       float64
+	Efficiency stats.Summary
+}
+
+// SemiBlockingResult is the study's data set.
+type SemiBlockingResult struct{ Points []SemiBlockingPoint }
+
+// Point finds one technique/rate pair.
+func (r SemiBlockingResult) Point(t core.Technique, rate float64) (SemiBlockingPoint, bool) {
+	for _, p := range r.Points {
+		if p.Technique == t && p.Rate == rate {
+			return p, true
+		}
+	}
+	return SemiBlockingPoint{}, false
+}
+
+// Run executes the study.
+func (s SemiBlockingSpec) Run() (*report.Table, SemiBlockingResult, error) {
+	if s.Class.Name == "" {
+		s.Class = workload.C64
+	}
+	if s.Fraction == 0 {
+		s.Fraction = 0.50
+	}
+	if s.Rates == nil {
+		s.Rates = []float64{0, 0.25, 0.5, 0.75}
+	}
+	if s.Trials == 0 {
+		s.Trials = 60
+	}
+	if err := s.Validate(); err != nil {
+		return nil, SemiBlockingResult{}, err
+	}
+	model, err := s.model(0)
+	if err != nil {
+		return nil, SemiBlockingResult{}, err
+	}
+
+	techniques := []core.Technique{core.CheckpointRestart, core.MultilevelCheckpoint}
+	cols := []string{"overlap rate"}
+	for _, tech := range techniques {
+		cols = append(cols, tech.String())
+	}
+	t := report.New(
+		fmt.Sprintf("Semi-blocking checkpoint extension (%s at %s of the machine)", s.Class.Name, fracLabel(s.Fraction)),
+		cols...)
+	t.AddNote("overlap rate 0 is the paper's blocking model; higher rates keep computing during checkpoint writes")
+	t.AddNote("mean ± stddev of %d trials", s.Trials)
+
+	var result SemiBlockingResult
+	app := workload.App{Class: s.Class, TimeSteps: 1440, Nodes: s.Machine.NodesForFraction(s.Fraction)}
+	for _, rate := range s.Rates {
+		rc := s.Resilience
+		rc.CheckpointComputeRate = rate
+		row := []string{report.F(rate)}
+		for ti, tech := range techniques {
+			x, err := resilience.New(tech, app, s.Machine, model, rc)
+			if err != nil {
+				return nil, SemiBlockingResult{}, err
+			}
+			st := appsim.Run(appsim.TrialSpec{
+				Executor: x,
+				Trials:   s.Trials,
+				Seed:     s.Seed ^ uint64(ti+501)*0x9e3779b97f4a7c15,
+				Workers:  s.workers(),
+			})
+			result.Points = append(result.Points, SemiBlockingPoint{
+				Technique:  tech,
+				Rate:       rate,
+				Efficiency: st.Efficiency,
+			})
+			row = append(row, report.Eff(st.Efficiency.Mean, st.Efficiency.StdDev))
+		}
+		t.AddRow(row...)
+	}
+	return t, result, nil
+}

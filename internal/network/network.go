@@ -1,0 +1,104 @@
+// Package network models the simulated machine's interconnect: the
+// communication substrate of Section III-F that every resilience
+// technique's cost equations draw on.
+//
+// The model follows the paper's "NDR InfiniBand"-class abstraction: a
+// one-way latency L, a link bandwidth B_N, and a switch fabric that
+// sustains N_S simultaneous connections. Bulk transfers from many nodes —
+// checkpoint traffic to the parallel file system being the important case —
+// serialize into rounds of N_S concurrent flows, which is exactly where
+// Eq. 3's N_a/N_S factor comes from.
+package network
+
+import (
+	"fmt"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/units"
+)
+
+// Model is the interconnect as the cost equations see it.
+type Model struct {
+	// Latency is the one-way message latency L.
+	Latency units.Duration
+	// Bandwidth is the per-flow link bandwidth B_N.
+	Bandwidth units.Bandwidth
+	// SwitchConnections is N_S, the number of flows the switch fabric
+	// sustains simultaneously.
+	SwitchConnections int
+}
+
+// FromMachine derives the network model from a machine configuration.
+func FromMachine(cfg machine.Config) Model {
+	return Model{
+		Latency:           cfg.Network.Latency,
+		Bandwidth:         cfg.Network.Bandwidth,
+		SwitchConnections: cfg.Network.SwitchConnections,
+	}
+}
+
+// Validate reports whether the model is physically meaningful.
+func (m Model) Validate() error {
+	if m.Latency < 0 {
+		return fmt.Errorf("network: negative latency %v", m.Latency)
+	}
+	if m.Bandwidth <= 0 {
+		return fmt.Errorf("network: non-positive bandwidth %v", float64(m.Bandwidth))
+	}
+	if m.SwitchConnections <= 0 {
+		return fmt.Errorf("network: non-positive switch connections %d", m.SwitchConnections)
+	}
+	return nil
+}
+
+// MessageTime reports the time to deliver one message of the given size
+// between two nodes: latency plus serialization.
+func (m Model) MessageTime(size units.DataSize) units.Duration {
+	return m.Latency + m.Bandwidth.Transfer(size)
+}
+
+// Rounds reports how many serialized rounds a set of concurrent flows
+// needs through the switch fabric. The paper's continuous N_a/N_S factor
+// is the large-N limit of this quantity; Rounds keeps the discrete
+// behaviour exact for small flow counts.
+func (m Model) Rounds(flows int) int {
+	if flows <= 0 {
+		return 0
+	}
+	return (flows + m.SwitchConnections - 1) / m.SwitchConnections
+}
+
+// BulkTransferTime reports the time for every one of nodes to move
+// perNode data through the switch fabric (to or from the parallel file
+// system): per-flow serialization times the continuous round factor
+// N_a / N_S of Eq. 3.
+//
+// The continuous factor (rather than the integral Rounds) matches the
+// paper's Eq. 3 exactly, keeping regenerated exhibit values comparable;
+// callers that want the discrete behaviour can combine MessageTime and
+// Rounds themselves.
+func (m Model) BulkTransferTime(perNode units.DataSize, nodes int) units.Duration {
+	if nodes <= 0 {
+		return 0
+	}
+	perFlow := m.Bandwidth.Transfer(perNode)
+	return perFlow * units.Duration(float64(nodes)/float64(m.SwitchConnections))
+}
+
+// ExchangeTime reports the time for a symmetric pairwise exchange of
+// perNode data between partner nodes whose memories absorb the data at
+// memoryBandwidth — the structure of Eq. 6's partner checkpoint:
+//
+//	2 * (perNode/B_M + L + perNode/B_M)
+//
+// one memory-bandwidth term to produce the data and one to absorb it, in
+// both directions.
+func (m Model) ExchangeTime(perNode units.DataSize, memoryBandwidth units.Bandwidth) units.Duration {
+	memory := memoryBandwidth.Transfer(perNode)
+	return 2 * (memory + m.Latency + memory)
+}
+
+// String renders the model.
+func (m Model) String() string {
+	return fmt.Sprintf("network: L=%s, B_N=%s, N_S=%d", m.Latency, m.Bandwidth, m.SwitchConnections)
+}

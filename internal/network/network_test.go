@@ -1,0 +1,123 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/units"
+)
+
+func exaModel() Model { return FromMachine(machine.Exascale()) }
+
+func TestFromMachine(t *testing.T) {
+	m := exaModel()
+	if m.Bandwidth != 600*units.GBPerSecond {
+		t.Errorf("bandwidth %v", m.Bandwidth)
+	}
+	if m.SwitchConnections != 12 {
+		t.Errorf("switch connections %d", m.SwitchConnections)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("exascale network invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{Latency: -1, Bandwidth: 1, SwitchConnections: 1},
+		{Latency: 0, Bandwidth: 0, SwitchConnections: 1},
+		{Latency: 0, Bandwidth: 1, SwitchConnections: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestMessageTime(t *testing.T) {
+	m := exaModel()
+	// 64 GB at 600 GB/s plus 0.5 us.
+	got := m.MessageTime(64 * units.Gigabyte).Seconds()
+	want := 64.0/600 + 0.5e-6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MessageTime = %v s, want %v", got, want)
+	}
+	// Latency dominates tiny messages.
+	if tiny := m.MessageTime(0); math.Abs(tiny.Seconds()-0.5e-6) > 1e-15 {
+		t.Errorf("zero-size message time %v s, want pure latency", tiny.Seconds())
+	}
+}
+
+func TestRounds(t *testing.T) {
+	m := exaModel() // N_S = 12
+	cases := []struct{ flows, want int }{
+		{0, 0}, {-3, 0}, {1, 1}, {12, 1}, {13, 2}, {24, 2}, {120000, 10000},
+	}
+	for _, tc := range cases {
+		if got := m.Rounds(tc.flows); got != tc.want {
+			t.Errorf("Rounds(%d) = %d, want %d", tc.flows, got, tc.want)
+		}
+	}
+}
+
+func TestBulkTransferMatchesEq3(t *testing.T) {
+	m := exaModel()
+	// Eq. 3 at full machine, 64 GB per node: (64/600)*(120000/12) s.
+	got := m.BulkTransferTime(64*units.Gigabyte, 120000)
+	want := (64.0 / 600) * (120000.0 / 12)
+	if math.Abs(got.Seconds()-want) > 1e-9 {
+		t.Errorf("BulkTransferTime = %v s, want %v", got.Seconds(), want)
+	}
+	if m.BulkTransferTime(64, 0) != 0 {
+		t.Error("zero nodes should transfer in zero time")
+	}
+}
+
+func TestBulkTransferLinearInNodes(t *testing.T) {
+	m := exaModel()
+	prop := func(nodesRaw uint16, gbRaw uint8) bool {
+		nodes := int(nodesRaw%50000) + 1
+		size := units.DataSize(gbRaw%127) + 1
+		a := m.BulkTransferTime(size, nodes)
+		b := m.BulkTransferTime(size, 2*nodes)
+		return math.Abs(float64(b)-2*float64(a)) < 1e-9*math.Max(1, float64(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExchangeMatchesEq6(t *testing.T) {
+	m := exaModel()
+	// Eq. 6 for 64 GB at B_M = 320 GB/s: 2*(0.2 + 0.5e-6 + 0.2) s.
+	got := m.ExchangeTime(64*units.Gigabyte, 320*units.GBPerSecond)
+	want := 2 * (0.2 + 0.5e-6 + 0.2)
+	if math.Abs(got.Seconds()-want) > 1e-12 {
+		t.Errorf("ExchangeTime = %v s, want %v", got.Seconds(), want)
+	}
+}
+
+func TestCostOrderingInvariant(t *testing.T) {
+	// For any app footprint on the exascale machine, local RAM < partner
+	// exchange < PFS for nontrivial node counts: the premise of the
+	// multilevel hierarchy.
+	m := exaModel()
+	memBW := machine.Exascale().Node.MemoryBandwidth
+	for _, gb := range []units.DataSize{32, 64} {
+		l1 := memBW.Transfer(gb)
+		l2 := m.ExchangeTime(gb, memBW)
+		pfs := m.BulkTransferTime(gb, 1200)
+		if !(l1 < l2 && l2 < pfs) {
+			t.Errorf("%v/node: hierarchy violated: L1=%v L2=%v PFS=%v", gb, l1, l2, pfs)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if exaModel().String() == "" {
+		t.Error("empty String()")
+	}
+}

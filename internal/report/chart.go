@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one bar of a chart.
+type Bar struct {
+	// Label names the bar within its group.
+	Label string
+	// Value is the bar's magnitude; negative values render as empty.
+	Value float64
+	// Err is an optional error half-width, rendered numerically.
+	Err float64
+}
+
+// BarChart renders grouped horizontal ASCII bars — the terminal rendering
+// of the paper's bar figures. Groups correspond to x-axis positions
+// (application sizes, schedulers); bars within a group to techniques.
+type BarChart struct {
+	// Title is printed above the chart.
+	Title string
+	// Unit labels the values (e.g. "efficiency", "% dropped").
+	Unit string
+	// Max fixes the scale; 0 auto-scales to the largest value.
+	Max float64
+	// Width is the maximum bar length in characters (default 40).
+	Width int
+
+	groups []barGroup
+}
+
+type barGroup struct {
+	label string
+	bars  []Bar
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit}
+}
+
+// AddGroup appends a group of bars.
+func (c *BarChart) AddGroup(label string, bars ...Bar) {
+	c.groups = append(c.groups, barGroup{label: label, bars: bars})
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	scale := c.Max
+	if scale <= 0 {
+		for _, g := range c.groups {
+			for _, b := range g.bars {
+				if b.Value > scale {
+					scale = b.Value
+				}
+			}
+		}
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+
+	labelWidth := 0
+	for _, g := range c.groups {
+		for _, b := range g.bars {
+			if len(b.Label) > labelWidth {
+				labelWidth = len(b.Label)
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", c.Title, strings.Repeat("=", len(c.Title)))
+	}
+	for gi, g := range c.groups {
+		if gi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s\n", g.label)
+		for _, b := range g.bars {
+			n := int(math.Round(float64(width) * b.Value / scale))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			errStr := ""
+			if b.Err > 1e-6*math.Max(1, math.Abs(b.Value)) {
+				errStr = fmt.Sprintf(" ± %.3g", b.Err)
+			}
+			fmt.Fprintf(w, "  %-*s |%s%s %.3g%s\n",
+				labelWidth, b.Label, strings.Repeat("#", n), strings.Repeat(" ", width-n),
+				b.Value, errStr)
+		}
+	}
+	if c.Unit != "" {
+		fmt.Fprintf(w, "\n(bar scale: 0 to %.3g %s)\n", scale, c.Unit)
+	}
+}
+
+// String renders to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

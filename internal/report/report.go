@@ -1,0 +1,146 @@
+// Package report renders study results as aligned ASCII tables and CSV,
+// the two formats the experiment harness and CLI emit. Every figure and
+// table of the paper is regenerated as one of these tables: a "figure"
+// here is its underlying data series, since the original exhibits are bar
+// charts over exactly these rows.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Note lines are printed below the title, prefixed with "# ".
+	Notes []string
+	// Columns are the header cells.
+	Columns []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and columns.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddNote appends an explanatory line under the title.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a row; it panics if the cell count does not match the
+// header, which always indicates a harness bug.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// pad right-pads a cell to the column width, left-aligning text and
+// right-aligning anything that parses as leading-numeric.
+func pad(cell string, width int) string {
+	if cell == "" {
+		return strings.Repeat(" ", width)
+	}
+	if isNumeric(cell) {
+		return strings.Repeat(" ", width-len(cell)) + cell
+	}
+	return cell + strings.Repeat(" ", width-len(cell))
+}
+
+// isNumeric reports whether the cell starts with a digit, sign, or dot —
+// the harness's numbers, percentages, and "x ± y" cells.
+func isNumeric(cell string) bool {
+	c := cell[0]
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.'
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the header and rows as CSV (titles and notes omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell formatting helpers shared by the experiment drivers.
+
+// Eff formats an efficiency with its standard deviation, as the paper's
+// bar-plus-error-bar figures report.
+func Eff(mean, std float64) string {
+	return fmt.Sprintf("%.3f ± %.3f", mean, std)
+}
+
+// Pct formats a percentage with its standard deviation.
+func Pct(mean, std float64) string {
+	return fmt.Sprintf("%.1f%% ± %.1f", mean, std)
+}
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// I formats an integer.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", "1.5")
+	tb.AddRow("b", "10.25")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, rule, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "name") {
+		t.Errorf("header line %q", lines[2])
+	}
+	// Numeric cells right-align: "10.25" is wider, so "1.5" gets padding.
+	if !strings.HasSuffix(lines[4], "  1.5") {
+		t.Errorf("numeric cell not right-aligned: %q", lines[4])
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("T", "c")
+	tb.AddNote("seed=%d", 42)
+	if !strings.Contains(tb.String(), "# seed=42") {
+		t.Error("note missing from output")
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("T", "a", "b").AddRow("only-one")
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddRow("x", "1")
+	tb.AddRow("y, z", "2") // comma needs quoting
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\n\"y, z\",2\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n=") {
+		t.Error("untitled table printed a title rule")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Eff(0.91234, 0.0456); got != "0.912 ± 0.046" {
+		t.Errorf("Eff = %q", got)
+	}
+	if got := Pct(12.34, 5.6); got != "12.3% ± 5.6" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := I(7); got != "7" {
+		t.Errorf("I = %q", got)
+	}
+	if got := F(0.123456); got != "0.1235" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+func TestRowsCount(t *testing.T) {
+	tb := New("T", "a")
+	if tb.Rows() != 0 {
+		t.Error("fresh table has rows")
+	}
+	tb.AddRow("1")
+	tb.AddRow("2")
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tb.Rows())
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Demo", "efficiency")
+	c.Max = 1
+	c.Width = 10
+	c.AddGroup("1%",
+		Bar{Label: "CR", Value: 1.0},
+		Bar{Label: "PR", Value: 0.5, Err: 0.01},
+	)
+	c.AddGroup("100%",
+		Bar{Label: "CR", Value: 0.0},
+	)
+	out := c.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "|##########") {
+		t.Errorf("full bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "± 0.01") {
+		t.Error("error annotation missing")
+	}
+	if !strings.Contains(out, "efficiency") {
+		t.Error("unit missing")
+	}
+}
+
+func TestBarChartAutoScale(t *testing.T) {
+	c := NewBarChart("", "")
+	c.Width = 10
+	c.AddGroup("g", Bar{Label: "a", Value: 50}, Bar{Label: "b", Value: 25})
+	out := c.String()
+	if !strings.Contains(out, "|##########") {
+		t.Errorf("largest value should fill the bar:\n%s", out)
+	}
+	if !strings.Contains(out, "|#####      ") {
+		t.Errorf("half-size value should half-fill:\n%s", out)
+	}
+}
+
+func TestBarChartDegenerateValues(t *testing.T) {
+	c := NewBarChart("", "")
+	c.Width = 5
+	c.AddGroup("g", Bar{Label: "neg", Value: -3}, Bar{Label: "zero", Value: 0})
+	out := c.String()
+	if strings.Contains(out, "#") {
+		t.Errorf("non-positive bars should render empty:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"fmt"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// checkpointRestart implements the contemporary baseline technique of
+// Section IV-B: periodic, blocking, uncoordinated checkpoints written to
+// the parallel file system at the Daly-optimal period, with every failure
+// forcing a full restore from the last completed PFS checkpoint.
+type checkpointRestart struct {
+	application workload.App
+	costs       Costs
+	tau         units.Duration
+	saved       units.Duration
+}
+
+// newCheckpointRestart builds the Checkpoint Restart executor.
+func newCheckpointRestart(app workload.App, costs Costs, model *failures.Model, periodScale float64) Executor {
+	s := &checkpointRestart{application: app, costs: costs}
+	x := &executor{strat: s, model: model, phys: app.Nodes, viable: true}
+	tau, ok := DalyPeriod(costs.PFS, model.Rate(app.Nodes))
+	if !ok {
+		x.viable = false
+		x.reason = fmt.Sprintf("optimal checkpoint period is non-positive (T_PFS=%s, rate=%s): checkpointing cannot keep ahead of failures",
+			costs.PFS, model.Rate(app.Nodes))
+	}
+	s.tau = tau * units.Duration(periodScale)
+	return x
+}
+
+func (s *checkpointRestart) technique() core.Technique { return core.CheckpointRestart }
+func (s *checkpointRestart) app() workload.App         { return s.application }
+func (s *checkpointRestart) physicalNodes() int        { return s.application.Nodes }
+
+// effectiveWork: plain checkpointing adds no intrinsic slowdown, so the
+// work equals the baseline T_B.
+func (s *checkpointRestart) effectiveWork() units.Duration { return s.application.Baseline() }
+
+func (s *checkpointRestart) checkpointInterval() units.Duration { return s.tau }
+
+// nextCheckpoint: every checkpoint goes to the parallel file system,
+// reported as level 3 to share the multilevel result histogram.
+func (s *checkpointRestart) nextCheckpoint() (int, units.Duration) { return 3, s.costs.PFS }
+
+func (s *checkpointRestart) onCheckpointDone(_ int, progress units.Duration) {
+	s.saved = progress
+}
+
+// onFailure: any failure, of any severity, forces a restore from the last
+// PFS checkpoint; restart time is symmetric with checkpoint time.
+func (s *checkpointRestart) onFailure(failures.Failure, units.Duration) response {
+	return response{
+		rollback:     true,
+		restoreTo:    s.saved,
+		restoreLevel: 3,
+		restartCost:  s.costs.PFS,
+	}
+}
+
+func (s *checkpointRestart) recoverySpeed() float64 { return 1 }
+
+func (s *checkpointRestart) reset() { s.saved = 0 }
+
+func (s *checkpointRestart) clone() strategy {
+	dup := *s
+	return &dup
+}

@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/workload"
+)
+
+func testApp(class workload.Class, nodes int) workload.App {
+	return workload.App{ID: 0, Class: class, TimeSteps: 1440, Nodes: nodes}
+}
+
+func TestPFSCheckpointCostMatchesPaper(t *testing.T) {
+	cfg := machine.Exascale()
+	// Paper Section IV-B: checkpoint+restart to the PFS takes 17-35 min
+	// depending on application type. One-way Eq. 3 at full machine:
+	// 64 GB: (64/600)s * (120000/12) = 1066.7 s ~ 17.8 min
+	// 32 GB: 533.3 s ~ 8.9 min  (so checkpoint+restart spans ~17.8-35.6).
+	app64 := testApp(workload.D64, cfg.Nodes)
+	c64 := ComputeCosts(app64, cfg)
+	if got := c64.PFS.Minutes(); math.Abs(got-17.78) > 0.1 {
+		t.Errorf("64GB full-system PFS checkpoint = %v min, want ~17.78", got)
+	}
+	app32 := testApp(workload.A32, cfg.Nodes)
+	c32 := ComputeCosts(app32, cfg)
+	if got := c32.PFS.Minutes(); math.Abs(got-8.89) > 0.1 {
+		t.Errorf("32GB full-system PFS checkpoint = %v min, want ~8.89", got)
+	}
+	// Round trip (checkpoint + restart) must land in the paper's 17-35+
+	// minute window.
+	for _, c := range []Costs{c32, c64} {
+		rt := 2 * c.PFS.Minutes()
+		if rt < 17 || rt > 36 {
+			t.Errorf("checkpoint+restart %v min outside the paper's 17-35 window", rt)
+		}
+	}
+}
+
+func TestPFSCostScalesWithNodes(t *testing.T) {
+	cfg := machine.Exascale()
+	small := ComputeCosts(testApp(workload.C64, 1200), cfg)
+	large := ComputeCosts(testApp(workload.C64, 120000), cfg)
+	if got := float64(large.PFS) / float64(small.PFS); math.Abs(got-100) > 1e-9 {
+		t.Errorf("PFS cost ratio for 100x nodes = %v, want 100 (Eq. 3 is linear in N_a)", got)
+	}
+	// In-memory costs are per-node and must not scale with N_a.
+	if small.L1 != large.L1 || small.L2 != large.L2 {
+		t.Error("L1/L2 costs changed with node count")
+	}
+}
+
+func TestL1CostMatchesEq5(t *testing.T) {
+	cfg := machine.Exascale()
+	// 64 GB / 320 GB/s = 0.2 s.
+	c := ComputeCosts(testApp(workload.B64, 1000), cfg)
+	if got := c.L1.Seconds(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("L1 = %v s, want 0.2", got)
+	}
+	c32 := ComputeCosts(testApp(workload.B32, 1000), cfg)
+	if got := c32.L1.Seconds(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("L1 (32GB) = %v s, want 0.1", got)
+	}
+}
+
+func TestL2CostMatchesEq6(t *testing.T) {
+	cfg := machine.Exascale()
+	c := ComputeCosts(testApp(workload.B64, 1000), cfg)
+	// 2*(T_L1 + L + N_m/B_M) = 2*(0.2 + 0.5e-6 + 0.2) ~ 0.800001 s.
+	want := 2 * (0.2 + 0.5e-6 + 0.2)
+	if got := c.L2.Seconds(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("L2 = %v s, want %v", got, want)
+	}
+	// Ordering invariant: L1 < L2 < PFS for any realistic size.
+	if !(c.L1 < c.L2 && c.L2 < c.PFS) {
+		t.Errorf("cost ordering violated: L1=%v L2=%v PFS=%v", c.L1, c.L2, c.PFS)
+	}
+}
+
+func TestCostForLevel(t *testing.T) {
+	c := Costs{PFS: 100, L1: 1, L2: 10}
+	if c.CostForLevel(1) != 1 || c.CostForLevel(2) != 10 || c.CostForLevel(3) != 100 {
+		t.Error("CostForLevel mapping wrong")
+	}
+}
+
+func TestMessageLoggingSlowdown(t *testing.T) {
+	cases := []struct {
+		class workload.Class
+		want  float64
+	}{
+		{workload.A32, 1.0},
+		{workload.B64, 1.025},
+		{workload.C32, 1.05},
+		{workload.D64, 1.075},
+	}
+	for _, tc := range cases {
+		if got := MessageLoggingSlowdown(tc.class); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("mu(%s) = %v, want %v", tc.class.Name, got, tc.want)
+		}
+	}
+}
+
+func TestMessageLoggingBaseline(t *testing.T) {
+	app := testApp(workload.D64, 100)
+	// Eq. 7: 1.075 * 1440 min.
+	want := 1.075 * 1440
+	if got := MessageLoggingBaseline(app).Minutes(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("T_B' = %v, want %v", got, want)
+	}
+}
+
+func TestRedundantBaseline(t *testing.T) {
+	// Eq. 8: T_S * (T_W + r*T_C).
+	cases := []struct {
+		class workload.Class
+		r     float64
+		want  float64
+	}{
+		{workload.A32, 2.0, 1440},         // no communication: no penalty
+		{workload.D64, 2.0, 1440 * 1.75},  // 0.25 + 2*0.75
+		{workload.D64, 1.5, 1440 * 1.375}, // 0.25 + 1.5*0.75
+		{workload.C32, 1.5, 1440 * 1.25},  // 0.5 + 1.5*0.5
+	}
+	for _, tc := range cases {
+		app := testApp(tc.class, 100)
+		if got := RedundantBaseline(app, tc.r).Minutes(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("T_B'(%s, r=%v) = %v, want %v", tc.class.Name, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestRedundantNodes(t *testing.T) {
+	cases := []struct {
+		virtual int
+		r       float64
+		want    int
+	}{
+		{100, 2.0, 200},
+		{100, 1.5, 150},
+		{3, 1.5, 5}, // ceil(4.5)
+		{1, 1.5, 2}, // ceil(1.5)
+		{10, 1.0, 10},
+	}
+	for _, tc := range cases {
+		if got := RedundantNodes(tc.virtual, tc.r); got != tc.want {
+			t.Errorf("RedundantNodes(%d, %v) = %d, want %d", tc.virtual, tc.r, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package resilience
+
+import (
+	"math"
+
+	"exaresil/internal/units"
+)
+
+// DalyPeriod is Eq. 4 of the paper, Daly's first-order estimate of the
+// optimum checkpoint period for an application with checkpoint cost
+// checkpoint and failure rate rate:
+//
+//	tau = sqrt(2 * T_c / lambda_a) - T_c.
+//
+// The returned ok is false when the estimate is non-positive, i.e. the
+// failure rate is so high relative to the checkpoint cost that the
+// application spends all of its time checkpointing and restarting and can
+// make no forward progress. Section V observes exactly this regime for
+// traditional Checkpoint Restart at exascale sizes with a 2.5-year
+// component MTBF.
+func DalyPeriod(checkpoint units.Duration, rate units.Rate) (tau units.Duration, ok bool) {
+	if checkpoint <= 0 {
+		// Free checkpoints have no optimum; callers treat this as a
+		// configuration error.
+		return 0, false
+	}
+	if rate <= 0 {
+		// No failures: checkpointing is pure overhead, so the optimal
+		// period is unbounded. Callers interpret ok && tau == +Inf as
+		// "never checkpoint".
+		return units.Duration(math.Inf(1)), true
+	}
+	tau = units.Duration(math.Sqrt(2*float64(checkpoint)/float64(rate))) - checkpoint
+	if tau <= 0 {
+		return 0, false
+	}
+	return tau, true
+}
+
+// YoungPeriod is Young's earlier first-order approximation,
+// sqrt(2 * T_c / lambda_a), retained for comparison in the interval
+// explorer tool. It never reports failure for positive inputs.
+func YoungPeriod(checkpoint units.Duration, rate units.Rate) units.Duration {
+	if checkpoint <= 0 || rate <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	return units.Duration(math.Sqrt(2 * float64(checkpoint) / float64(rate)))
+}

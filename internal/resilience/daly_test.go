@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+func TestDalyKnownValue(t *testing.T) {
+	// Full exascale machine, 64 GB app, 10-year MTBF:
+	// T_c = 17.78 min, lambda = 120000/(10*525600) = 0.022831/min,
+	// tau = sqrt(2*17.78/0.022831) - 17.78 = sqrt(1557.5) - 17.78 ~ 21.68.
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	costs := ComputeCosts(testApp(workload.D64, cfg.Nodes), cfg)
+	tau, ok := DalyPeriod(costs.PFS, model.Rate(cfg.Nodes))
+	if !ok {
+		t.Fatal("expected a positive Daly period at 10-year MTBF")
+	}
+	want := math.Sqrt(2*costs.PFS.Minutes()/model.Rate(cfg.Nodes).PerMinute()) - costs.PFS.Minutes()
+	if math.Abs(tau.Minutes()-want) > 1e-9 {
+		t.Errorf("tau = %v, want %v", tau.Minutes(), want)
+	}
+	if tau.Minutes() < 15 || tau.Minutes() > 30 {
+		t.Errorf("tau = %v min, expected the low tens of minutes", tau.Minutes())
+	}
+}
+
+func TestDalyCollapsesAtLowMTBF(t *testing.T) {
+	// The Daly period goes non-positive once lambda >= 2/T_c. For the
+	// full-machine 64 GB application (T_c = 17.78 min) that threshold is
+	// an MTBF of about 2.03 years; at 1 year Checkpoint Restart cannot
+	// even be configured.
+	cfg := machine.Exascale().WithMTBF(1 * units.Year)
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	costs := ComputeCosts(testApp(workload.D64, cfg.Nodes), cfg)
+	if _, ok := DalyPeriod(costs.PFS, model.Rate(cfg.Nodes)); ok {
+		t.Error("expected the Daly period to collapse at exascale with 1-year MTBF")
+	}
+	// At 2.5 years the period is still (barely) positive; the technique
+	// is configurable but Section V shows it cannot make real progress.
+	cfg25 := machine.Exascale().WithMTBF(units.Duration(2.5) * units.Year)
+	model25 := failures.MustModel(cfg25.MTBF, failures.DefaultSeverityPMF())
+	tau, ok := DalyPeriod(costs.PFS, model25.Rate(cfg25.Nodes))
+	if !ok {
+		t.Fatal("Daly period should still be positive at 2.5-year MTBF")
+	}
+	if tau.Minutes() > 3 {
+		t.Errorf("tau = %v min; expected a degenerate (tiny) period", tau.Minutes())
+	}
+}
+
+func TestDalyZeroRate(t *testing.T) {
+	tau, ok := DalyPeriod(10*units.Minute, 0)
+	if !ok || !math.IsInf(float64(tau), 1) {
+		t.Errorf("zero failure rate: got (%v, %v), want (+Inf, true)", tau, ok)
+	}
+}
+
+func TestDalyZeroCost(t *testing.T) {
+	if _, ok := DalyPeriod(0, 0.01); ok {
+		t.Error("zero checkpoint cost should be rejected")
+	}
+}
+
+// TestDalyIsOptimum verifies tau minimizes the first-order waste model
+// w(T) = C/T + lambda*T/2 it is derived from, against neighboring periods.
+func TestDalyIsOptimum(t *testing.T) {
+	waste := func(period, cost, rate float64) float64 {
+		return cost/period + rate*period/2
+	}
+	prop := func(costRaw, rateRaw uint16) bool {
+		cost := float64(costRaw%500) + 0.5         // 0.5..500.5 minutes
+		rate := (float64(rateRaw%1000) + 1) * 1e-6 // 1e-6..1e-3 per minute
+		tau, ok := DalyPeriod(units.Duration(cost), units.Rate(rate))
+		if !ok {
+			// Collapse regime: Young's period must be <= cost then.
+			return float64(YoungPeriod(units.Duration(cost), units.Rate(rate))) <= cost
+		}
+		// Daly's tau approximates the optimum of the Young model with the
+		// checkpoint latency subtracted; check it beats far-off periods.
+		at := waste(float64(tau)+cost, cost, rate)
+		return at <= waste((float64(tau)+cost)*3, cost, rate) &&
+			at <= waste((float64(tau)+cost)/3, cost, rate)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYoungPeriod(t *testing.T) {
+	got := YoungPeriod(8*units.Minute, units.Rate(0.01))
+	want := math.Sqrt(2 * 8 / 0.01)
+	if math.Abs(got.Minutes()-want) > 1e-9 {
+		t.Errorf("Young period = %v, want %v", got.Minutes(), want)
+	}
+	if !math.IsInf(float64(YoungPeriod(8*units.Minute, 0)), 1) {
+		t.Error("Young period at zero rate should be infinite")
+	}
+}

@@ -1,0 +1,584 @@
+package resilience
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// mustExecutor builds an executor or fails the test.
+func mustExecutor(t *testing.T, tech core.Technique, app workload.App, cfg machine.Config, model *failures.Model) Executor {
+	t.Helper()
+	x, err := New(tech, app, cfg, model, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New(%v): %v", tech, err)
+	}
+	return x
+}
+
+// run executes with a generous horizon.
+func run(t *testing.T, x Executor, seed uint64) Result {
+	t.Helper()
+	app := x.App()
+	horizon := units.Duration(200 * float64(app.Baseline()))
+	return x.Run(0, horizon, rng.New(seed))
+}
+
+func defaultModel(cfg machine.Config) *failures.Model {
+	return failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+}
+
+func TestFactoryRejectsBadInputs(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.A32, 1000)
+
+	if _, err := New(core.CheckpointRestart, workload.App{}, cfg, model, DefaultConfig()); err == nil {
+		t.Error("invalid app accepted")
+	}
+	if _, err := New(core.CheckpointRestart, app, machine.Config{}, model, DefaultConfig()); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	if _, err := New(core.CheckpointRestart, app, cfg, nil, DefaultConfig()); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(core.CheckpointRestart, app, cfg, model, Config{RecoverySpeedup: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(core.Technique(99), app, cfg, model, DefaultConfig()); err == nil {
+		t.Error("unknown technique accepted")
+	}
+	big := testApp(workload.A32, cfg.Nodes+1)
+	if _, err := New(core.CheckpointRestart, big, cfg, model, DefaultConfig()); err == nil {
+		t.Error("oversized app accepted")
+	}
+}
+
+func TestAllTechniquesCompleteSmallApp(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.B32, 1200) // 1% of the machine
+	for _, tech := range core.Techniques() {
+		x := mustExecutor(t, tech, app, cfg, model)
+		if ok, reason := x.Viable(); !ok {
+			t.Errorf("%v not viable for a 1%% app: %s", tech, reason)
+			continue
+		}
+		res := run(t, x, 1)
+		if !res.Completed {
+			t.Errorf("%v did not complete: %v", tech, res)
+			continue
+		}
+		if eff := res.Efficiency(); eff <= 0 || eff > 1 {
+			t.Errorf("%v efficiency %v outside (0, 1]", tech, eff)
+		}
+		if res.Makespan() < res.EffectiveWork {
+			t.Errorf("%v makespan %v below effective work %v", tech, res.Makespan(), res.EffectiveWork)
+		}
+		if res.Rollbacks > res.Failures {
+			t.Errorf("%v rollbacks %d exceed failures %d", tech, res.Rollbacks, res.Failures)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.D64, 30000)
+	for _, tech := range core.Techniques() {
+		x := mustExecutor(t, tech, app, cfg, model)
+		if ok, _ := x.Viable(); !ok {
+			continue
+		}
+		a := run(t, x, 42)
+		b := run(t, x, 42)
+		if a != b {
+			t.Errorf("%v replay diverged:\n  %+v\n  %+v", tech, a, b)
+		}
+		c := run(t, x, 43)
+		if a == c && a.Failures > 0 {
+			t.Errorf("%v: different seeds produced identical eventful runs", tech)
+		}
+	}
+}
+
+func TestCheckpointRestartOverheadAccounting(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 12000) // 10%
+	x := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	res := run(t, x, 7)
+	if !res.Completed {
+		t.Fatalf("run did not complete: %v", res)
+	}
+	// Makespan decomposes into work, rework, checkpoints, and restarts.
+	reconstructed := res.EffectiveWork + res.ReworkTime + res.CheckpointTime + res.RestartTime
+	if math.Abs(float64(res.Makespan()-reconstructed)) > 1e-6 {
+		t.Errorf("makespan %v != work %v + rework %v + ckpt %v + restart %v",
+			res.Makespan(), res.EffectiveWork, res.ReworkTime, res.CheckpointTime, res.RestartTime)
+	}
+	// CR checkpoints are all level 3.
+	if res.Checkpoints[1] != 0 || res.Checkpoints[2] != 0 {
+		t.Errorf("CR produced non-PFS checkpoints: %v", res.Checkpoints)
+	}
+	if res.Checkpoints[3] == 0 {
+		t.Error("CR produced no checkpoints on a 1-day, 10%-machine run")
+	}
+	// With recovery speed 1, rework equals lost work.
+	if math.Abs(float64(res.ReworkTime-res.LostWork)) > 1e-6 {
+		t.Errorf("rework %v != lost work %v at unit recovery speed", res.ReworkTime, res.LostWork)
+	}
+}
+
+func TestCheckpointRestartNotViableAtExascaleOneYearMTBF(t *testing.T) {
+	cfg := machine.Exascale().WithMTBF(1 * units.Year)
+	model := defaultModel(cfg)
+	app := testApp(workload.D64, cfg.Nodes)
+	x := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	ok, reason := x.Viable()
+	if ok {
+		t.Fatal("CR should be non-viable at exascale with 1-year MTBF")
+	}
+	if !strings.Contains(reason, "checkpoint") {
+		t.Errorf("unhelpful reason: %q", reason)
+	}
+	res := run(t, x, 1)
+	if res.Completed || res.Efficiency() != 0 || res.Blocked == "" {
+		t.Errorf("blocked run should report zero efficiency: %+v", res)
+	}
+}
+
+func TestCheckpointRestartCannotProgressAt25YearMTBF(t *testing.T) {
+	// Figure 3's observation: at a 2.5-year MTBF, exascale-sized CR runs
+	// spend so long checkpointing and restarting that applications are
+	// "unable to even complete execution". The Daly period is still
+	// (barely) positive, so the executor is viable — but the mean time
+	// between failures (~11 min) is below the restart time (~17.8 min)
+	// and efficiency collapses toward zero.
+	cfg := machine.Exascale().WithMTBF(units.Duration(2.5) * units.Year)
+	model := defaultModel(cfg)
+	app := testApp(workload.D64, cfg.Nodes)
+	x := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	if ok, _ := x.Viable(); !ok {
+		t.Fatal("CR should be (nominally) viable at 2.5-year MTBF")
+	}
+	res := x.Run(0, units.Duration(50*float64(app.Baseline())), rng.New(1))
+	if eff := res.Efficiency(); eff > 0.05 {
+		t.Errorf("CR efficiency %v at exascale/2.5y; expected near-zero", eff)
+	}
+}
+
+func TestParallelRecoveryInflation(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.D64, 1200)
+	x := mustExecutor(t, core.ParallelRecovery, app, cfg, model)
+	res := run(t, x, 3)
+	if !res.Completed {
+		t.Fatalf("PR run did not complete: %v", res)
+	}
+	// Message logging inflates work by mu = 1.075 for D64; efficiency is
+	// bounded by 1/mu even in a failure-free run.
+	if res.EffectiveWork < units.Duration(1.074*float64(res.Baseline)) {
+		t.Errorf("effective work %v not inflated by mu", res.EffectiveWork)
+	}
+	if eff := res.Efficiency(); eff > 1/1.075+1e-9 {
+		t.Errorf("PR efficiency %v exceeds 1/mu bound", eff)
+	}
+	// PR checkpoints are all in-memory (level 2).
+	if res.Checkpoints[1] != 0 || res.Checkpoints[3] != 0 {
+		t.Errorf("PR produced non-memory checkpoints: %v", res.Checkpoints)
+	}
+}
+
+func TestParallelRecoveryReworkFasterThanLost(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.A32, 60000) // large app: frequent failures
+	x := mustExecutor(t, core.ParallelRecovery, app, cfg, model)
+	res := run(t, x, 11)
+	if !res.Completed || res.Rollbacks == 0 {
+		t.Fatalf("need a completed run with rollbacks, got %v", res)
+	}
+	// Rework wall time must be lost work divided by the recovery speedup.
+	want := float64(res.LostWork) / DefaultConfig().RecoverySpeedup
+	if math.Abs(float64(res.ReworkTime)-want) > 1e-6*math.Max(1, want) {
+		t.Errorf("rework %v, want lost/phi = %v", res.ReworkTime, want)
+	}
+}
+
+func TestMultilevelUsesAllLevels(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 30000)
+	x := mustExecutor(t, core.MultilevelCheckpoint, app, cfg, model)
+	res := run(t, x, 5)
+	if !res.Completed {
+		t.Fatalf("ML run did not complete: %v", res)
+	}
+	if res.Checkpoints[1] == 0 {
+		t.Error("ML took no level-1 checkpoints")
+	}
+	if res.Checkpoints[1] < res.Checkpoints[2] || res.Checkpoints[2] < res.Checkpoints[3] {
+		t.Errorf("ML level counts should be decreasing: %v", res.Checkpoints)
+	}
+}
+
+func TestMultilevelBeatsCheckpointRestartAtScale(t *testing.T) {
+	// The core multilevel claim: against the same failures, three-level
+	// checkpointing beats all-PFS checkpointing for large applications.
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 60000)
+	ml := mustExecutor(t, core.MultilevelCheckpoint, app, cfg, model)
+	cr := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	var mlEff, crEff float64
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		mlEff += run(t, ml, seed).Efficiency()
+		crEff += run(t, cr, seed).Efficiency()
+	}
+	if mlEff <= crEff {
+		t.Errorf("multilevel (%v) did not beat checkpoint restart (%v) over %d trials",
+			mlEff/trials, crEff/trials, trials)
+	}
+}
+
+func TestRedundancyAbsorbsFirstReplicaFailure(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.A32, 10000)
+	x := mustExecutor(t, core.FullRedundancy, app, cfg, model)
+	if x.PhysicalNodes() != 20000 {
+		t.Errorf("full redundancy occupies %d nodes, want 20000", x.PhysicalNodes())
+	}
+	res := run(t, x, 9)
+	if !res.Completed {
+		t.Fatalf("redundancy run did not complete: %v", res)
+	}
+	// With full duplication, most failures must be absorbed: a rollback
+	// needs two hits on the same virtual node within one checkpoint
+	// interval, which is rare at these rates.
+	if res.Failures == 0 {
+		t.Fatal("expected failures on a 20000-node day-long run")
+	}
+	if res.Rollbacks*10 > res.Failures {
+		t.Errorf("too many rollbacks for full redundancy: %d of %d failures",
+			res.Rollbacks, res.Failures)
+	}
+}
+
+func TestPartialRedundancyRollsBackMoreThanFull(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.A32, 20000)
+	partial := mustExecutor(t, core.PartialRedundancy, app, cfg, model)
+	full := mustExecutor(t, core.FullRedundancy, app, cfg, model)
+	if partial.PhysicalNodes() != 30000 {
+		t.Errorf("partial redundancy occupies %d nodes, want 30000", partial.PhysicalNodes())
+	}
+	var pr, fr int
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		pr += run(t, partial, seed).Rollbacks
+		fr += run(t, full, seed).Rollbacks
+	}
+	if pr <= fr {
+		t.Errorf("partial redundancy should roll back more often than full: %d vs %d", pr, fr)
+	}
+}
+
+func TestRedundancyBlockedWhenTooLarge(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	// 75% of the machine at r=2 needs 150% of the machine.
+	app := testApp(workload.A32, 90000)
+	x := mustExecutor(t, core.FullRedundancy, app, cfg, model)
+	if ok, reason := x.Viable(); ok || !strings.Contains(reason, "machine has") {
+		t.Errorf("oversized replica set should be blocked, got ok=%v reason=%q", ok, reason)
+	}
+	res := run(t, x, 1)
+	if res.Efficiency() != 0 {
+		t.Errorf("blocked redundancy run has efficiency %v", res.Efficiency())
+	}
+	// r=1.5 at 60% needs 90%: viable.
+	app2 := testApp(workload.A32, 72000)
+	x2 := mustExecutor(t, core.PartialRedundancy, app2, cfg, model)
+	if ok, _ := x2.Viable(); !ok {
+		t.Error("r=1.5 at 60% of the machine should fit")
+	}
+}
+
+func TestEfficiencyDecreasesWithSize(t *testing.T) {
+	// The headline trend of Figure 1: every technique loses efficiency as
+	// the application grows.
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.MultilevelCheckpoint, core.ParallelRecovery} {
+		avg := func(nodes int) float64 {
+			app := testApp(workload.C64, nodes)
+			x := mustExecutor(t, tech, app, cfg, model)
+			var sum float64
+			const trials = 15
+			for seed := uint64(0); seed < trials; seed++ {
+				sum += run(t, x, seed).Efficiency()
+			}
+			return sum / trials
+		}
+		small, large := avg(1200), avg(120000)
+		if small <= large {
+			t.Errorf("%v: efficiency did not decrease with size (1%%: %v, 100%%: %v)",
+				tech, small, large)
+		}
+	}
+}
+
+func TestEfficiencyDecreasesWithMTBF(t *testing.T) {
+	// Figure 3's premise: less reliable components degrade every technique.
+	app := testApp(workload.C64, 30000)
+	avg := func(mtbf units.Duration) float64 {
+		cfg := machine.Exascale().WithMTBF(mtbf)
+		model := defaultModel(cfg)
+		x, err := New(core.MultilevelCheckpoint, app, cfg, model, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const trials = 15
+		for seed := uint64(0); seed < trials; seed++ {
+			horizon := units.Duration(200 * float64(app.Baseline()))
+			sum += x.Run(0, horizon, rng.New(seed)).Efficiency()
+		}
+		return sum / trials
+	}
+	if high, low := avg(10*units.Year), avg(units.Duration(2.5)*units.Year); high <= low {
+		t.Errorf("efficiency at 10y MTBF (%v) should exceed 2.5y (%v)", high, low)
+	}
+}
+
+func TestHorizonTruncation(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.A32, 1200)
+	x := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	// Horizon far below the baseline: the run cannot complete.
+	res := x.Run(0, app.Baseline()/2, rng.New(1))
+	if res.Completed {
+		t.Error("run completed despite an impossible horizon")
+	}
+	if res.End != app.Baseline()/2 {
+		t.Errorf("incomplete run should end at the horizon, got %v", res.End)
+	}
+}
+
+func TestRunStartOffset(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.B32, 1200)
+	x := mustExecutor(t, core.ParallelRecovery, app, cfg, model)
+	start := 5000 * units.Minute
+	res := x.Run(start, start+units.Duration(100*float64(app.Baseline())), rng.New(2))
+	if !res.Completed {
+		t.Fatalf("offset run did not complete: %v", res)
+	}
+	if res.Start != start || res.End <= start {
+		t.Errorf("offset run has start %v end %v", res.Start, res.End)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.B32, 1200)
+	x := mustExecutor(t, core.ParallelRecovery, app, cfg, model)
+	res := run(t, x, 1)
+	if s := res.String(); !strings.Contains(s, "completed") {
+		t.Errorf("completed result renders as %q", s)
+	}
+	blocked := Result{Technique: core.FullRedundancy, Blocked: "too big"}
+	if s := blocked.String(); !strings.Contains(s, "too big") {
+		t.Errorf("blocked result renders as %q", s)
+	}
+}
+
+func mustExecutorBench(b *testing.B, tech core.Technique, nodes int) Executor {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	x, err := New(tech, testApp(workload.C64, nodes), cfg, model, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x
+}
+
+func BenchmarkCheckpointRestartRun(b *testing.B) {
+	x := mustExecutorBench(b, core.CheckpointRestart, 30000)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Run(0, 1e9, src)
+	}
+}
+
+func BenchmarkMultilevelRun(b *testing.B) {
+	x := mustExecutorBench(b, core.MultilevelCheckpoint, 30000)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Run(0, 1e9, src)
+	}
+}
+
+func BenchmarkParallelRecoveryRun(b *testing.B) {
+	x := mustExecutorBench(b, core.ParallelRecovery, 30000)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Run(0, 1e9, src)
+	}
+}
+
+func TestIdealExecutor(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 30000)
+	x := mustExecutor(t, core.Ideal, app, cfg, model)
+	if ok, _ := x.Viable(); !ok {
+		t.Fatal("ideal executor must always be viable")
+	}
+	res := x.Run(100, 1e9, rng.New(1))
+	if !res.Completed {
+		t.Fatalf("ideal run incomplete: %v", res)
+	}
+	if res.Makespan() != app.Baseline() {
+		t.Errorf("ideal makespan %v, want exactly the baseline %v", res.Makespan(), app.Baseline())
+	}
+	if res.Efficiency() != 1 {
+		t.Errorf("ideal efficiency %v, want 1", res.Efficiency())
+	}
+	if res.Failures != 0 || res.TotalCheckpoints() != 0 {
+		t.Error("ideal run recorded failures or checkpoints")
+	}
+	// Horizon truncation still applies.
+	short := x.Run(0, app.Baseline()/2, rng.New(1))
+	if short.Completed {
+		t.Error("ideal run completed past its horizon")
+	}
+	// Clone is independent and equivalent.
+	if got := x.Clone().Run(100, 1e9, rng.New(1)); got != res {
+		t.Error("ideal clone produced a different result")
+	}
+}
+
+func TestClonedExecutorsMatch(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.D64, 30000)
+	for _, tech := range core.Techniques() {
+		x := mustExecutor(t, tech, app, cfg, model)
+		y := x.Clone()
+		a := run(t, x, 77)
+		b := run(t, y, 77)
+		if a != b {
+			t.Errorf("%v: clone diverged from original", tech)
+		}
+	}
+}
+
+func TestSemiBlockingCheckpointsOverlapWork(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 30000)
+
+	blocking := mustExecutor(t, core.CheckpointRestart, app, cfg, model)
+	semiOpts := DefaultConfig()
+	semiOpts.CheckpointComputeRate = 0.5
+	semi, err := New(core.CheckpointRestart, app, cfg, model, semiOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bSum, sSum float64
+	var overlapped units.Duration
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		b := run(t, blocking, seed)
+		s := run(t, semi, seed)
+		if !b.Completed || !s.Completed {
+			t.Fatalf("runs incomplete at seed %d", seed)
+		}
+		bSum += b.Makespan().Minutes()
+		sSum += s.Makespan().Minutes()
+		overlapped += s.OverlappedWork
+		if b.OverlappedWork != 0 {
+			t.Fatal("blocking run reported overlapped work")
+		}
+		// Decomposition with overlap (at recovery speed 1): total compute
+		// wall time is gross progress earned in compute phases, i.e.
+		// effective work plus every lost minute re-earned, minus whatever
+		// was earned inside checkpoint writes.
+		reconstructed := s.EffectiveWork + s.LostWork - s.OverlappedWork +
+			s.CheckpointTime + s.RestartTime
+		if math.Abs(float64(s.Makespan()-reconstructed)) > 1e-6 {
+			t.Fatalf("semi-blocking decomposition off: makespan %v vs %v",
+				s.Makespan(), reconstructed)
+		}
+	}
+	if overlapped <= 0 {
+		t.Fatal("semi-blocking runs earned no overlapped work")
+	}
+	if sSum >= bSum {
+		t.Errorf("semi-blocking mean makespan (%v) should beat blocking (%v)",
+			sSum/trials, bSum/trials)
+	}
+}
+
+func TestSemiBlockingValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.CheckpointComputeRate = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Error("compute rate 1.0 accepted (checkpoint would never bound work)")
+	}
+	bad.CheckpointComputeRate = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative compute rate accepted")
+	}
+}
+
+func TestSemiBlockingSnapshotSemantics(t *testing.T) {
+	// The committed checkpoint must hold the progress at checkpoint START:
+	// simulate with a huge failure rate so rollbacks are frequent, and
+	// verify the run still completes with sane counters (a wrong snapshot
+	// that included overlapped work would let efficiency exceed its bound
+	// or break the decomposition).
+	cfg := machine.Exascale().WithMTBF(2 * units.Year)
+	model := defaultModel(cfg)
+	app := testApp(workload.C32, 30000)
+	opts := DefaultConfig()
+	opts.CheckpointComputeRate = 0.7
+	x, err := New(core.CheckpointRestart, app, cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		res := run(t, x, seed)
+		if !res.Completed {
+			continue
+		}
+		if res.Efficiency() > 1 {
+			t.Fatalf("efficiency %v above 1", res.Efficiency())
+		}
+		reconstructed := res.EffectiveWork + res.LostWork - res.OverlappedWork +
+			res.CheckpointTime + res.RestartTime
+		if math.Abs(float64(res.Makespan()-reconstructed)) > 1e-6 {
+			t.Fatalf("decomposition broke under failures: %v vs %v", res.Makespan(), reconstructed)
+		}
+	}
+}

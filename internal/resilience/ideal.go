@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"exaresil/internal/core"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// idealExecutor is the failure-free, overhead-free baseline of the
+// resource-management study (the "Ideal Baseline" of Figure 4): the
+// application simply runs for exactly its baseline execution time.
+type idealExecutor struct {
+	application workload.App
+}
+
+// NewIdeal returns the Ideal baseline executor for app.
+func NewIdeal(app workload.App) Executor { return &idealExecutor{application: app} }
+
+func (x *idealExecutor) Technique() core.Technique { return core.Ideal }
+func (x *idealExecutor) App() workload.App         { return x.application }
+func (x *idealExecutor) PhysicalNodes() int        { return x.application.Nodes }
+func (x *idealExecutor) Viable() (bool, string)    { return true, "" }
+func (x *idealExecutor) Clone() Executor           { return &idealExecutor{application: x.application} }
+
+// Run completes after exactly the baseline execution time, or reports an
+// incomplete run if the horizon cuts it short.
+func (x *idealExecutor) Run(start, horizon units.Duration, _ *rng.Source) Result {
+	end := start + x.application.Baseline()
+	res := Result{
+		Technique:     core.Ideal,
+		Start:         start,
+		Baseline:      x.application.Baseline(),
+		EffectiveWork: x.application.Baseline(),
+	}
+	if end > horizon {
+		res.End = horizon
+		return res
+	}
+	res.Completed = true
+	res.End = end
+	return res
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"fmt"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// parallelRecovery implements the message-logging technique of Section
+// IV-D, after Meneses et al.: in-memory (partner-node) checkpoints replace
+// the parallel file system entirely, message logging inflates execution by
+// mu = 1 + T_C/10, and the work lost to a failure is recomputed phi times
+// faster by parallelizing the failed node's replay across helper nodes.
+type parallelRecovery struct {
+	application workload.App
+	costs       Costs
+	speedup     float64
+	tau         units.Duration
+	saved       units.Duration
+}
+
+// newParallelRecovery builds the Parallel Recovery executor.
+func newParallelRecovery(app workload.App, costs Costs, model *failures.Model, speedup, periodScale float64) Executor {
+	s := &parallelRecovery{application: app, costs: costs, speedup: speedup}
+	x := &executor{strat: s, model: model, phys: app.Nodes, viable: true}
+	tau, ok := DalyPeriod(costs.L2, model.Rate(app.Nodes))
+	if !ok {
+		x.viable = false
+		x.reason = fmt.Sprintf("optimal in-memory checkpoint period is non-positive (T_L2=%s, rate=%s)",
+			costs.L2, model.Rate(app.Nodes))
+	}
+	s.tau = tau * units.Duration(periodScale)
+	return x
+}
+
+func (s *parallelRecovery) technique() core.Technique { return core.ParallelRecovery }
+func (s *parallelRecovery) app() workload.App         { return s.application }
+func (s *parallelRecovery) physicalNodes() int        { return s.application.Nodes }
+
+// effectiveWork is Eq. 7: message logging stretches every time step by mu.
+func (s *parallelRecovery) effectiveWork() units.Duration {
+	return MessageLoggingBaseline(s.application)
+}
+
+func (s *parallelRecovery) checkpointInterval() units.Duration { return s.tau }
+
+// nextCheckpoint: checkpoints go to partner-node memory (Eq. 6), reported
+// as level 2.
+func (s *parallelRecovery) nextCheckpoint() (int, units.Duration) { return 2, s.costs.L2 }
+
+func (s *parallelRecovery) onCheckpointDone(_ int, progress units.Duration) {
+	s.saved = progress
+}
+
+// onFailure: restore from the in-memory checkpoint. The restart reads the
+// partner copy, costing another T_L2.
+func (s *parallelRecovery) onFailure(failures.Failure, units.Duration) response {
+	return response{
+		rollback:     true,
+		restoreTo:    s.saved,
+		restoreLevel: 2,
+		restartCost:  s.costs.L2,
+	}
+}
+
+// recoverySpeed: lost work replays phi times faster than it was first
+// computed because the failed node's objects are spread across helpers.
+func (s *parallelRecovery) recoverySpeed() float64 { return s.speedup }
+
+func (s *parallelRecovery) reset() { s.saved = 0 }
+
+func (s *parallelRecovery) clone() strategy {
+	dup := *s
+	return &dup
+}

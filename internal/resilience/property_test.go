@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// TestEngineInvariantsProperty drives every technique with arbitrary
+// seeds, classes, and sizes and checks the invariants that must hold for
+// any completed run:
+//
+//  1. makespan decomposes exactly into work + rework + checkpoints +
+//     restarts;
+//  2. efficiency never exceeds the technique's intrinsic bound
+//     baseline/effectiveWork;
+//  3. rework equals lost work divided by the recovery speed;
+//  4. rollbacks never exceed failures, and every counter is non-negative.
+func TestEngineInvariantsProperty(t *testing.T) {
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	classes := workload.Classes()
+	techniques := core.Techniques()
+	opts := DefaultConfig()
+
+	prop := func(seed uint64, classIdx, techIdx uint8, sizeRaw uint16, stepsRaw uint16) bool {
+		class := classes[int(classIdx)%len(classes)]
+		tech := techniques[int(techIdx)%len(techniques)]
+		nodes := int(sizeRaw)%60000 + 100
+		steps := int(stepsRaw)%1440 + 60
+		app := workload.App{Class: class, TimeSteps: steps, Nodes: nodes}
+
+		x, err := New(tech, app, cfg, model, opts)
+		if err != nil {
+			t.Logf("constructor error: %v", err)
+			return false
+		}
+		if ok, _ := x.Viable(); !ok {
+			return true // blocked configurations have no run to check
+		}
+		res := x.Run(0, units.Duration(100*float64(app.Baseline())), rng.New(seed))
+		if !res.Completed {
+			// Abandoned runs only need sane counters.
+			return res.Failures >= res.Rollbacks && res.Rollbacks >= 0
+		}
+
+		// (1) makespan decomposition.
+		reconstructed := res.EffectiveWork + res.ReworkTime + res.CheckpointTime + res.RestartTime
+		if math.Abs(float64(res.Makespan()-reconstructed)) > 1e-6 {
+			t.Logf("%v %s n=%d: makespan %v != %v", tech, class.Name, nodes, res.Makespan(), reconstructed)
+			return false
+		}
+		// (2) efficiency bound.
+		bound := float64(res.Baseline) / float64(res.EffectiveWork)
+		if res.Efficiency() > bound+1e-9 {
+			t.Logf("%v: efficiency %v above bound %v", tech, res.Efficiency(), bound)
+			return false
+		}
+		// (3) rework/lost-work ratio.
+		speed := 1.0
+		if tech == core.ParallelRecovery {
+			speed = opts.RecoverySpeedup
+		}
+		want := float64(res.LostWork) / speed
+		if math.Abs(float64(res.ReworkTime)-want) > 1e-6*math.Max(1, want) {
+			t.Logf("%v: rework %v != lost/speed %v", tech, res.ReworkTime, want)
+			return false
+		}
+		// (4) counters.
+		return res.Failures >= res.Rollbacks && res.Rollbacks >= 0 &&
+			res.LostWork >= 0 && res.TotalCheckpoints() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreFailuresNeverHelp verifies a coarse stochastic-dominance
+// property: averaged over seeds, efficiency at a 2-year MTBF never beats
+// efficiency at 20 years for the same configuration.
+func TestMoreFailuresNeverHelp(t *testing.T) {
+	cfg20 := machine.Exascale().WithMTBF(20 * units.Year)
+	cfg2 := machine.Exascale().WithMTBF(2 * units.Year)
+	m20 := failures.MustModel(cfg20.MTBF, failures.DefaultSeverityPMF())
+	m2 := failures.MustModel(cfg2.MTBF, failures.DefaultSeverityPMF())
+	app := testApp(workload.C32, 24000)
+
+	for _, tech := range core.Techniques() {
+		x20, err := New(tech, app, cfg20, m20, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := New(tech, app, cfg2, m2, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := x2.Viable(); !ok {
+			continue
+		}
+		var e20, e2 float64
+		const trials = 20
+		for seed := uint64(0); seed < trials; seed++ {
+			horizon := units.Duration(100 * float64(app.Baseline()))
+			e20 += x20.Run(0, horizon, rng.New(seed)).Efficiency()
+			e2 += x2.Run(0, horizon, rng.New(seed)).Efficiency()
+		}
+		if e2 > e20 {
+			t.Errorf("%v: mean efficiency at 2y MTBF (%v) beats 20y (%v)",
+				tech, e2/trials, e20/trials)
+		}
+	}
+}
+
+// TestShorterAppsFinishSooner checks monotonicity of makespan in work for
+// a fixed failure environment.
+func TestShorterAppsFinishSooner(t *testing.T) {
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	mean := func(steps int) float64 {
+		app := workload.App{Class: workload.B64, TimeSteps: steps, Nodes: 12000}
+		x, err := New(core.MultilevelCheckpoint, app, cfg, model, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const trials = 15
+		for seed := uint64(0); seed < trials; seed++ {
+			res := x.Run(0, 1e8, rng.New(seed))
+			if !res.Completed {
+				t.Fatalf("run incomplete at %d steps", steps)
+			}
+			sum += res.Makespan().Minutes()
+		}
+		return sum / trials
+	}
+	if short, long := mean(360), mean(2880); short >= long {
+		t.Errorf("6h app mean makespan %v >= 48h app %v", short, long)
+	}
+}
+
+// TestZeroCommunicationClassesMatchAcrossMemory verifies that classes
+// differing only in memory footprint behave identically under techniques
+// whose costs do not depend on memory... none do (all checkpoint costs
+// scale with N_m), so instead check the direction: bigger footprints can
+// never be cheaper to checkpoint.
+func TestBiggerFootprintNeverCheaper(t *testing.T) {
+	cfg := machine.Exascale()
+	for _, nodes := range []int{1200, 30000} {
+		c32 := ComputeCosts(testApp(workload.A32, nodes), cfg)
+		c64 := ComputeCosts(testApp(workload.A64, nodes), cfg)
+		if c64.PFS < c32.PFS || c64.L1 < c32.L1 || c64.L2 < c32.L2 {
+			t.Errorf("64GB checkpoints cheaper than 32GB at %d nodes", nodes)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"fmt"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// Config tunes the technique parameters that the paper inherits from the
+// works each technique is modeled on.
+type Config struct {
+	// RecoverySpeedup is phi, the factor by which Parallel Recovery
+	// accelerates the recomputation of a failed node's lost work by
+	// spreading it across helper nodes. Meneses et al. observe recovery
+	// speedups around the object-virtualization ratio; 8 is a
+	// representative value (DESIGN.md §5).
+	RecoverySpeedup float64
+	// Multilevel bounds the multilevel schedule optimizer's search.
+	Multilevel MultilevelConfig
+	// PeriodScale multiplies every technique's checkpoint interval,
+	// for sensitivity studies around the Daly/optimized operating point;
+	// 1 (or 0, treated as 1) is the paper's behaviour.
+	PeriodScale float64
+	// CheckpointComputeRate is the fraction of normal compute progress an
+	// application sustains while a checkpoint is being written. The paper
+	// models blocking checkpoints (0, the default); positive values model
+	// the semi-blocking schemes of its related work (Coti et al., Ni et
+	// al.): the checkpoint still takes its full cost in wall time, but
+	// computation overlaps it at this reduced rate. Must be < 1.
+	CheckpointComputeRate float64
+}
+
+// DefaultConfig returns the parameter values used throughout the paper's
+// studies.
+func DefaultConfig() Config {
+	return Config{
+		RecoverySpeedup: 8,
+		Multilevel:      DefaultMultilevelConfig(),
+		PeriodScale:     1,
+	}
+}
+
+// periodScale resolves the interval multiplier, treating the zero value
+// as the paper default of 1.
+func (c Config) periodScale() float64 {
+	if c.PeriodScale == 0 {
+		return 1
+	}
+	return c.PeriodScale
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.RecoverySpeedup < 1 {
+		return fmt.Errorf("resilience: recovery speedup %v must be >= 1", c.RecoverySpeedup)
+	}
+	if c.PeriodScale < 0 {
+		return fmt.Errorf("resilience: period scale %v must be positive", c.PeriodScale)
+	}
+	if c.CheckpointComputeRate < 0 || c.CheckpointComputeRate >= 1 {
+		return fmt.Errorf("resilience: checkpoint compute rate %v outside [0, 1)", c.CheckpointComputeRate)
+	}
+	return c.Multilevel.Validate()
+}
+
+// executor adapts a strategy to the Executor interface, holding the pieces
+// shared by all techniques: the failure model, the occupied node count, and
+// the viability verdict computed at construction.
+type executor struct {
+	strat    strategy
+	model    *failures.Model
+	phys     int
+	viable   bool
+	reason   string
+	ckptRate float64
+	observer Observer
+}
+
+// Technique implements Executor.
+func (x *executor) Technique() core.Technique { return x.strat.technique() }
+
+// App implements Executor.
+func (x *executor) App() workload.App { return x.strat.app() }
+
+// PhysicalNodes implements Executor.
+func (x *executor) PhysicalNodes() int { return x.phys }
+
+// Viable implements Executor.
+func (x *executor) Viable() (bool, string) { return x.viable, x.reason }
+
+// Clone implements Executor.
+func (x *executor) Clone() Executor {
+	return &executor{
+		strat:    x.strat.clone(),
+		model:    x.model,
+		phys:     x.phys,
+		viable:   x.viable,
+		reason:   x.reason,
+		ckptRate: x.ckptRate,
+	}
+}
+
+// Run implements Executor.
+func (x *executor) Run(start, horizon units.Duration, src *rng.Source) Result {
+	if !x.viable {
+		return Result{
+			Technique:     x.strat.technique(),
+			Blocked:       x.reason,
+			Start:         start,
+			End:           start,
+			Baseline:      x.strat.app().Baseline(),
+			EffectiveWork: x.strat.effectiveWork(),
+		}
+	}
+	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer)
+}
+
+// New constructs the executor for technique t running app on the machine
+// cfg under the failure model. It returns an error only for malformed
+// inputs; a technique that is well-formed but cannot execute the
+// application (e.g. redundancy needing more nodes than the machine has)
+// yields a non-viable executor whose runs report Blocked.
+func New(t core.Technique, app workload.App, cfg machine.Config, model *failures.Model, opts Config) (Executor, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("resilience: nil failure model")
+	}
+	if app.Nodes > cfg.Nodes {
+		return nil, fmt.Errorf("resilience: app needs %d nodes but machine %q has %d",
+			app.Nodes, cfg.Name, cfg.Nodes)
+	}
+
+	costs := ComputeCosts(app, cfg)
+	scale := opts.periodScale()
+	withRate := func(x Executor) Executor {
+		if e, ok := x.(*executor); ok {
+			e.ckptRate = opts.CheckpointComputeRate
+		}
+		return x
+	}
+	switch t {
+	case core.Ideal:
+		return NewIdeal(app), nil
+	case core.CheckpointRestart:
+		return withRate(newCheckpointRestart(app, costs, model, scale)), nil
+	case core.MultilevelCheckpoint:
+		return withRate(newMultilevel(app, costs, model, opts.Multilevel, scale)), nil
+	case core.ParallelRecovery:
+		return withRate(newParallelRecovery(app, costs, model, opts.RecoverySpeedup, scale)), nil
+	case core.PartialRedundancy:
+		return withRate(newRedundancy(app, costs, model, 1.5, cfg.Nodes, scale)), nil
+	case core.FullRedundancy:
+		return withRate(newRedundancy(app, costs, model, 2.0, cfg.Nodes, scale)), nil
+	default:
+		return nil, fmt.Errorf("resilience: no executor for technique %v", t)
+	}
+}

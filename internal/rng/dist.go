@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Discrete samples from a fixed finite probability mass function in O(1)
+// time using Vose's alias method. The failure model uses it to draw failure
+// severity levels from the empirical level ratios of Moody et al.
+type Discrete struct {
+	prob  []float64
+	alias []int
+}
+
+// NewDiscrete builds a sampler over outcomes 0..len(weights)-1 with
+// probability proportional to weights[i]. Weights need not be normalized.
+// It returns an error if no weight is positive or any weight is negative,
+// NaN, or infinite.
+func NewDiscrete(weights []float64) (*Discrete, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: all weights are zero")
+	}
+
+	d := &Discrete{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Vose's algorithm: split scaled probabilities into "small" (< 1) and
+	// "large" (>= 1) worklists, then pair each small cell with a large
+	// donor.
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		d.prob[s] = scaled[s]
+		d.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Anything left over is numerically 1.
+	for _, i := range large {
+		d.prob[i] = 1
+		d.alias[i] = i
+	}
+	for _, i := range small {
+		d.prob[i] = 1
+		d.alias[i] = i
+	}
+	return d, nil
+}
+
+// MustDiscrete is NewDiscrete but panics on error; intended for weight
+// vectors that are compile-time constants.
+func MustDiscrete(weights []float64) *Discrete {
+	d, err := NewDiscrete(weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Len reports the number of outcomes.
+func (d *Discrete) Len() int { return len(d.prob) }
+
+// Sample draws one outcome index using src.
+func (d *Discrete) Sample(src *Source) int {
+	i := src.Intn(len(d.prob))
+	if src.Float64() < d.prob[i] {
+		return i
+	}
+	return d.alias[i]
+}
+
+// Prob reports the normalized probability of outcome i, reconstructed from
+// the alias table. It is primarily a testing aid.
+func (d *Discrete) Prob(i int) float64 {
+	n := float64(len(d.prob))
+	p := d.prob[i] / n
+	for j, pj := range d.prob {
+		if d.alias[j] == i && j != i {
+			p += (1 - pj) / n
+		}
+	}
+	return p
+}

@@ -1,0 +1,358 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestStreamIndependentOfOrder(t *testing.T) {
+	// Stream(seed, i) must not depend on any other stream having been drawn.
+	want := Stream(7, 3).Uint64()
+	_ = Stream(7, 0).Uint64()
+	_ = Stream(7, 1).Uint64()
+	if got := Stream(7, 3).Uint64(); got != want {
+		t.Errorf("Stream(7,3) changed after other streams drawn: %d != %d", got, want)
+	}
+}
+
+func TestStreamsPairwiseDistinct(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 200; i++ {
+		v := Stream(99, i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d start identically", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestFork(t *testing.T) {
+	parent := New(5)
+	child := parent.Fork()
+	if parent.Uint64() == child.Uint64() {
+		t.Error("fork should not mirror parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(12)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := New(13)
+	prop := func(a, b float64) bool {
+		lo, hi := a, b
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) ||
+			math.IsInf(hi-lo, 0) {
+			// The interval width itself overflows float64; the simulator
+			// never samples such ranges.
+			return true
+		}
+		v := r.Uniform(lo, hi)
+		return v >= lo && (v < hi || lo == hi && v == lo)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(14)
+	const n, draws = 7, 140000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d: %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(15)
+	const rate, n = 0.25, 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05*(1/rate) {
+		t.Errorf("Exp mean %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) should panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(16)
+	for n := 0; n < 50; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(17)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed contents: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(18)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(p) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-p) > 0.01 {
+		t.Errorf("Bool(%v) hit fraction %v", p, frac)
+	}
+}
+
+func TestDiscreteErrors(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+		"nan":      {1, math.NaN()},
+		"inf":      {1, math.Inf(1)},
+	}
+	for name, w := range cases {
+		if _, err := NewDiscrete(w); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDiscreteSingleOutcome(t *testing.T) {
+	d := MustDiscrete([]float64{3})
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 0 {
+			t.Fatal("single-outcome sampler returned nonzero")
+		}
+	}
+}
+
+func TestDiscreteFrequencies(t *testing.T) {
+	weights := []float64{0.65, 0.25, 0.10}
+	d := MustDiscrete(weights)
+	r := New(20)
+	const n = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("outcome %d frequency %v, want ~%v", i, got, w)
+		}
+	}
+}
+
+func TestDiscreteZeroWeightNeverSampled(t *testing.T) {
+	d := MustDiscrete([]float64{1, 0, 1})
+	r := New(21)
+	for i := 0; i < 50000; i++ {
+		if d.Sample(r) == 1 {
+			t.Fatal("sampled an outcome with zero weight")
+		}
+	}
+}
+
+// TestDiscreteProbReconstruction checks the alias table re-derives the
+// normalized input distribution for arbitrary weight vectors.
+func TestDiscreteProbReconstruction(t *testing.T) {
+	prop := func(raw [6]uint8) bool {
+		weights := make([]float64, 0, len(raw))
+		var total float64
+		for _, w := range raw {
+			weights = append(weights, float64(w))
+			total += float64(w)
+		}
+		if total == 0 {
+			return true
+		}
+		d := MustDiscrete(weights)
+		for i, w := range weights {
+			if math.Abs(d.Prob(i)-w/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(0.01)
+	}
+}
+
+func BenchmarkDiscreteSample(b *testing.B) {
+	d := MustDiscrete([]float64{0.65, 0.25, 0.10})
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(r)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	// At shape 1 the Weibull reduces to Exp(1/scale): compare means and a
+	// tail quantile.
+	r := New(30)
+	const scale, n = 40.0, 100000
+	var sum float64
+	tail := 0
+	for i := 0; i < n; i++ {
+		v := r.Weibull(1, scale)
+		if v < 0 {
+			t.Fatalf("negative Weibull sample %v", v)
+		}
+		sum += v
+		if v > 3*scale {
+			tail++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-scale) > 0.02*scale {
+		t.Errorf("Weibull(1, %v) mean %v", scale, mean)
+	}
+	// P(X > 3*scale) = e^-3 ~ 0.0498.
+	if frac := float64(tail) / n; math.Abs(frac-0.0498) > 0.005 {
+		t.Errorf("tail fraction %v, want ~0.0498", frac)
+	}
+}
+
+func TestWeibullScaleForMean(t *testing.T) {
+	r := New(31)
+	for _, shape := range []float64{0.5, 0.7, 1, 2} {
+		scale := WeibullScaleForMean(shape, 100)
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += r.Weibull(shape, scale)
+		}
+		if mean := sum / n; math.Abs(mean-100) > 3 {
+			t.Errorf("shape %v: mean %v, want ~100", shape, mean)
+		}
+	}
+}
+
+func TestWeibullPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero shape":  func() { New(1).Weibull(0, 1) },
+		"zero scale":  func() { New(1).Weibull(1, 0) },
+		"scale mean0": func() { WeibullScaleForMean(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

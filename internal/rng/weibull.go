@@ -1,0 +1,32 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Weibull returns a Weibull-distributed value with the given shape k and
+// scale lambda, by inverse-CDF sampling:
+//
+//	X = lambda * (-ln(1-U))^(1/k).
+//
+// Shape k = 1 reduces to the exponential distribution with rate 1/lambda;
+// k < 1 produces the decreasing hazard rate (infant mortality) that
+// several HPC failure-log studies report. It panics for non-positive
+// parameters.
+func (r *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("rng: Weibull called with shape=%v scale=%v", shape, scale))
+	}
+	return scale * math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// WeibullScaleForMean returns the scale parameter that gives a Weibull
+// distribution of the given shape the desired mean, via
+// mean = scale * Gamma(1 + 1/shape). It panics for non-positive inputs.
+func WeibullScaleForMean(shape, mean float64) float64 {
+	if shape <= 0 || mean <= 0 {
+		panic(fmt.Sprintf("rng: WeibullScaleForMean(shape=%v, mean=%v)", shape, mean))
+	}
+	return mean / math.Gamma(1+1/shape)
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"exaresil/internal/core"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+// backfillMapper implements EASY backfilling, a repository extension beyond
+// the paper's three heuristics (DESIGN.md lists it as such). Applications
+// are considered in arrival order like FCFS; when the head of the queue
+// does not fit, instead of blocking everything behind it the mapper
+// computes the head's *shadow time* — the earliest instant enough running
+// applications will have departed for the head to start — and backfills
+// later applications that either finish (by their baseline estimate)
+// before the shadow time or fit within the nodes the head will leave
+// spare, so the head's implicit reservation is never delayed.
+type backfillMapper struct{}
+
+// Kind implements Mapper.
+func (backfillMapper) Kind() core.Scheduler { return core.EASYBackfill }
+
+// Map implements Mapper.
+func (backfillMapper) Map(ctx Context, _ *rng.Source) Decision {
+	free := ctx.FreeNodes
+	ordered := byArrival(ctx.Queue)
+	var d Decision
+
+	// Phase 1: plain FCFS placement until the first blocker.
+	i := 0
+	for ; i < len(ordered); i++ {
+		c := ordered[i]
+		if c.Nodes > free {
+			break
+		}
+		free -= c.Nodes
+		d.Start = append(d.Start, c.ID)
+	}
+	if i >= len(ordered) {
+		return d
+	}
+	head := ordered[i]
+
+	// Phase 2: compute the head's reservation against the running set.
+	shadow, spare := reservation(ctx.Now, free, head.Nodes, ctx.Running)
+
+	// Phase 3: backfill the rest without delaying the head. A candidate
+	// qualifies if it fits the idle nodes now AND either its estimated
+	// completion (baseline, the scheduler's best knowledge) lands before
+	// the shadow time, or it occupies only nodes the head will not need.
+	backfillSpare := spare
+	for _, c := range ordered[i+1:] {
+		if c.Nodes > free {
+			continue
+		}
+		endsBeforeShadow := ctx.Now+c.Baseline <= shadow
+		fitsSpare := c.Nodes <= backfillSpare
+		if !endsBeforeShadow && !fitsSpare {
+			continue
+		}
+		if !endsBeforeShadow {
+			backfillSpare -= c.Nodes
+		}
+		free -= c.Nodes
+		d.Start = append(d.Start, c.ID)
+	}
+	return d
+}
+
+// reservation computes when `need` nodes will be free given the currently
+// idle count and the running applications' expected departures, and how
+// many nodes beyond `need` will be idle at that moment.
+func reservation(now units.Duration, idle, need int, running []Running) (shadow units.Duration, spare int) {
+	if idle >= need {
+		return now, idle - need
+	}
+	departures := make([]Running, len(running))
+	copy(departures, running)
+	sort.Slice(departures, func(a, b int) bool {
+		return departures[a].ExpectedEnd < departures[b].ExpectedEnd
+	})
+	avail := idle
+	for _, r := range departures {
+		avail += r.Nodes
+		if avail >= need {
+			return max(r.ExpectedEnd, now), avail - need
+		}
+	}
+	// The head can never fit (it needs more than the machine has running
+	// plus idle); treat the reservation as unreachable so nothing defers
+	// to it.
+	return units.Duration(math.Inf(1)), 0
+}

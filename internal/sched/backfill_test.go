@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+func TestBackfillBehavesLikeFCFSWhenEverythingFits(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	queue := []Candidate{
+		cand(2, 30, 20, 100, 1000),
+		cand(1, 50, 10, 100, 1000),
+	}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if want := []int{1, 2}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v", d.Start, want)
+	}
+}
+
+func TestBackfillFillsBehindBlockedHead(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	// Head needs 80 of 60 free; a running job releases 40 nodes at t=500.
+	// A short job (baseline 100 <= shadow 500) must backfill; FCFS would
+	// have blocked it.
+	queue := []Candidate{
+		cand(1, 80, 0, 100, 1e6),  // blocked head
+		cand(2, 20, 10, 100, 1e6), // short: ends at 100 < shadow 500
+	}
+	running := []Running{{Nodes: 40, ExpectedEnd: 500}}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60, Running: running}, rng.New(1))
+	if want := []int{2}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (backfill the short job)", d.Start, want)
+	}
+	// The same queue under FCFS starts nothing.
+	fcfs := MustNew(core.FCFS)
+	if d := fcfs.Map(Context{Now: 0, Queue: queue, FreeNodes: 60, Running: running}, rng.New(1)); len(d.Start) != 0 {
+		t.Errorf("FCFS backfilled: %v", d.Start)
+	}
+}
+
+func TestBackfillNeverDelaysHeadReservation(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	// Head needs 80; free 60; running job frees 40 at t=500, so the head
+	// starts at 500 using 100 of the then-idle 100 nodes, leaving spare
+	// 20. A long job needing 50 nodes (finishing after 500) would delay
+	// the head: it must NOT backfill. A long job needing 15 (within the
+	// spare 20) may.
+	queue := []Candidate{
+		cand(1, 80, 0, 100, 1e6),   // blocked head
+		cand(2, 50, 10, 1000, 1e6), // long and wide: would steal head nodes
+		cand(3, 15, 20, 1000, 1e6), // long but fits the spare
+	}
+	running := []Running{{Nodes: 40, ExpectedEnd: 500}}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60, Running: running}, rng.New(1))
+	if slices.Contains(d.Start, 2) {
+		t.Errorf("backfilled a job that delays the head: %v", d.Start)
+	}
+	if !slices.Contains(d.Start, 3) {
+		t.Errorf("failed to backfill a spare-fitting job: %v", d.Start)
+	}
+}
+
+func TestBackfillSpareIsConsumed(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	// Spare at shadow is 20; two long 15-node jobs both fit now, but only
+	// one fits the spare.
+	queue := []Candidate{
+		cand(1, 80, 0, 100, 1e6),
+		cand(2, 15, 10, 1000, 1e6),
+		cand(3, 15, 20, 1000, 1e6),
+	}
+	running := []Running{{Nodes: 40, ExpectedEnd: 500}}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60, Running: running}, rng.New(1))
+	long := 0
+	for _, id := range d.Start {
+		if id == 2 || id == 3 {
+			long++
+		}
+	}
+	if long != 1 {
+		t.Errorf("backfilled %d long jobs into 20 spare nodes, want exactly 1 (%v)", long, d.Start)
+	}
+}
+
+func TestBackfillUnreachableHead(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	// Head needs more than idle + running can ever provide: reservation
+	// is unreachable, so later jobs that fit may start freely (nothing
+	// can delay a head that can never start).
+	queue := []Candidate{
+		cand(1, 500, 0, 100, 1e6),
+		cand(2, 30, 10, 1000, 1e6),
+	}
+	running := []Running{{Nodes: 40, ExpectedEnd: 500}}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60, Running: running}, rng.New(1))
+	if !slices.Contains(d.Start, 2) {
+		t.Errorf("job behind an unreachable head should backfill; got %v", d.Start)
+	}
+}
+
+func TestReservationComputation(t *testing.T) {
+	running := []Running{
+		{Nodes: 10, ExpectedEnd: 300},
+		{Nodes: 40, ExpectedEnd: 100},
+		{Nodes: 20, ExpectedEnd: 200},
+	}
+	// Need 60, idle 10: after t=100 idle 50, after t=200 idle 70 -> shadow
+	// 200, spare 10.
+	shadow, spare := reservation(0, 10, 60, running)
+	if shadow != 200 || spare != 10 {
+		t.Errorf("reservation = (%v, %d), want (200, 10)", shadow, spare)
+	}
+	// Already enough idle.
+	shadow, spare = reservation(50, 100, 60, running)
+	if shadow != 50 || spare != 40 {
+		t.Errorf("immediate reservation = (%v, %d), want (50, 40)", shadow, spare)
+	}
+	// Never enough.
+	shadow, _ = reservation(0, 10, 1000, running)
+	if !math.IsInf(float64(shadow), 1) {
+		t.Errorf("unreachable reservation shadow = %v, want +Inf", shadow)
+	}
+	// A departure in the past still cannot move the shadow before now.
+	shadow, _ = reservation(150, 10, 50, running)
+	if shadow != 150 {
+		t.Errorf("shadow %v before now", shadow)
+	}
+}
+
+func TestBackfillInCluster(t *testing.T) {
+	// Smoke: the scheduler must be constructible through New and carry
+	// its Kind; the cluster integration test lives in the cluster package.
+	m, err := New(core.EASYBackfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != core.EASYBackfill {
+		t.Errorf("kind = %v", m.Kind())
+	}
+	if _, err := core.ParseScheduler("backfill"); err != nil {
+		t.Errorf("ParseScheduler(backfill): %v", err)
+	}
+	if got := core.EASYBackfill.String(); got != "EASY-Backfill" {
+		t.Errorf("String() = %q", got)
+	}
+	if len(core.AllSchedulers()) != 4 {
+		t.Error("AllSchedulers should list 4 heuristics")
+	}
+}
+
+func TestBackfillNoDrops(t *testing.T) {
+	m := MustNew(core.EASYBackfill)
+	queue := []Candidate{cand(1, 10, 0, 100, 50)} // hopeless deadline
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if len(d.Drop) != 0 {
+		t.Error("backfill mapper should not drop (it extends FCFS)")
+	}
+	_ = units.Duration(0)
+}

@@ -1,0 +1,192 @@
+// Package sched implements the three resource-management techniques of
+// Section III-D: first-come-first-served, random-order, and slack-based
+// mapping of queued applications onto idle nodes.
+//
+// A mapper is invoked at every mapping event — immediately after an
+// application arrives and immediately after one leaves the system — with
+// the queue of unmapped applications and the count of idle nodes, and
+// decides which applications start now and (for the slack-based technique)
+// which are dropped outright because their deadlines are already
+// unreachable.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"exaresil/internal/core"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+// Candidate is one unmapped application as a mapper sees it.
+type Candidate struct {
+	// ID identifies the application to the caller.
+	ID int
+	// Nodes is the number of idle nodes the application needs to start —
+	// physical nodes, so redundant executions already include replicas.
+	Nodes int
+	// Arrival, Baseline and Deadline drive ordering and slack. Baseline
+	// is T_B, the application's failure-free execution time.
+	Arrival, Baseline, Deadline units.Duration
+}
+
+// Slack reports the candidate's scheduling headroom at time now:
+// T_D - (now + T_B). At the moment of arrival this equals the paper's
+// static definition T_D - (T_A + T_B); using the current time keeps the
+// negative-slack drop test exact at later mapping events.
+func (c Candidate) Slack(now units.Duration) units.Duration {
+	return c.Deadline - (now + c.Baseline)
+}
+
+// Running describes one executing application as a mapper sees it; the
+// backfill mapper uses expected ends to compute reservations.
+type Running struct {
+	// Nodes is the physical node count the application occupies.
+	Nodes int
+	// ExpectedEnd is when the cluster expects those nodes back (its
+	// scheduled completion or deadline drop).
+	ExpectedEnd units.Duration
+}
+
+// Context is everything a mapper sees at a mapping event.
+type Context struct {
+	// Now is the event time.
+	Now units.Duration
+	// FreeNodes is the count of idle nodes.
+	FreeNodes int
+	// Queue holds the unmapped applications, in no particular order.
+	Queue []Candidate
+	// Running holds the executing applications.
+	Running []Running
+}
+
+// Decision is a mapper's output: applications to start (in placement
+// order) and applications to drop. IDs not listed stay queued for future
+// mapping events.
+type Decision struct {
+	// Start lists candidate IDs to place now, in order.
+	Start []int
+	// Drop lists candidate IDs to remove from the system.
+	Drop []int
+}
+
+// Mapper decides which queued applications start at a mapping event.
+// Mappers must be deterministic given (ctx, src).
+type Mapper interface {
+	// Kind identifies the heuristic.
+	Kind() core.Scheduler
+	// Map produces the mapping decision. Implementations draw any
+	// randomness from src so trials replay identically.
+	Map(ctx Context, src *rng.Source) Decision
+}
+
+// New returns the mapper implementing the given heuristic.
+func New(kind core.Scheduler) (Mapper, error) {
+	switch kind {
+	case core.FCFS:
+		return fcfsMapper{}, nil
+	case core.RandomOrder:
+		return randomMapper{}, nil
+	case core.SlackBased:
+		return slackMapper{}, nil
+	case core.EASYBackfill:
+		return backfillMapper{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %v", kind)
+	}
+}
+
+// MustNew is New but panics on error; for the enumerated heuristics.
+func MustNew(kind core.Scheduler) Mapper {
+	m, err := New(kind)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fcfsMapper implements strict first-come-first-served: applications are
+// placed in arrival order until the first one that does not fit, which
+// blocks everything behind it (no backfilling), as in Section III-D1.
+type fcfsMapper struct{}
+
+func (fcfsMapper) Kind() core.Scheduler { return core.FCFS }
+
+func (fcfsMapper) Map(ctx Context, _ *rng.Source) Decision {
+	free := ctx.FreeNodes
+	var d Decision
+	for _, c := range byArrival(ctx.Queue) {
+		if c.Nodes > free {
+			break // strict FCFS: later arrivals wait behind the blocker
+		}
+		free -= c.Nodes
+		d.Start = append(d.Start, c.ID)
+	}
+	return d
+}
+
+// randomMapper implements Section III-D2: applications are considered in
+// uniformly random order; each is placed if it fits and otherwise returned
+// to the queue, and the pass continues until every application has been
+// considered once.
+type randomMapper struct{}
+
+func (randomMapper) Kind() core.Scheduler { return core.RandomOrder }
+
+func (randomMapper) Map(ctx Context, src *rng.Source) Decision {
+	free := ctx.FreeNodes
+	var d Decision
+	for _, i := range src.Perm(len(ctx.Queue)) {
+		c := ctx.Queue[i]
+		if c.Nodes <= free {
+			free -= c.Nodes
+			d.Start = append(d.Start, c.ID)
+		}
+	}
+	return d
+}
+
+// slackMapper implements Section III-D3: applications with negative slack
+// are dropped, the rest are considered in increasing-slack order, placing
+// each that fits and returning the others to the queue.
+type slackMapper struct{}
+
+func (slackMapper) Kind() core.Scheduler { return core.SlackBased }
+
+func (slackMapper) Map(ctx Context, _ *rng.Source) Decision {
+	var d Decision
+	free := ctx.FreeNodes
+	viable := make([]Candidate, 0, len(ctx.Queue))
+	for _, c := range ctx.Queue {
+		if c.Deadline > 0 && c.Slack(ctx.Now) < 0 {
+			d.Drop = append(d.Drop, c.ID)
+			continue
+		}
+		viable = append(viable, c)
+	}
+	sort.SliceStable(viable, func(i, j int) bool {
+		return viable[i].Slack(ctx.Now) < viable[j].Slack(ctx.Now)
+	})
+	for _, c := range viable {
+		if c.Nodes <= free {
+			free -= c.Nodes
+			d.Start = append(d.Start, c.ID)
+		}
+	}
+	return d
+}
+
+// byArrival returns the queue sorted by (arrival, ID) without mutating the
+// input.
+func byArrival(queue []Candidate) []Candidate {
+	out := make([]Candidate, len(queue))
+	copy(out, queue)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

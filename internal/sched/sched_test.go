@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"slices"
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+func cand(id, nodes int, arrival, baseline, deadline units.Duration) Candidate {
+	return Candidate{ID: id, Nodes: nodes, Arrival: arrival, Baseline: baseline, Deadline: deadline}
+}
+
+func TestNewCoversAllSchedulers(t *testing.T) {
+	for _, kind := range core.Schedulers() {
+		m, err := New(kind)
+		if err != nil {
+			t.Fatalf("New(%v): %v", kind, err)
+		}
+		if m.Kind() != kind {
+			t.Errorf("mapper for %v reports kind %v", kind, m.Kind())
+		}
+	}
+	if _, err := New(core.Scheduler(99)); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestSlackComputation(t *testing.T) {
+	c := cand(1, 10, 0, 100, 150)
+	if got := c.Slack(0); got != 50 {
+		t.Errorf("slack at arrival = %v, want 50", got)
+	}
+	if got := c.Slack(60); got != -10 {
+		t.Errorf("slack at t=60 = %v, want -10", got)
+	}
+}
+
+func TestFCFSOrderAndBlocking(t *testing.T) {
+	m := MustNew(core.FCFS)
+	queue := []Candidate{
+		cand(2, 30, 20, 100, 1000),
+		cand(1, 50, 10, 100, 1000),
+		cand(3, 10, 30, 100, 1000),
+	}
+	// 100 free: app 1 (arrived first, 50), app 2 (30), app 3 (10) all fit.
+	d := m.Map(Context{Now: 40, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if want := []int{1, 2, 3}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (arrival order)", d.Start, want)
+	}
+	// 70 free: app 1 (50) fits, app 2 (30) does not -> strict FCFS blocks
+	// app 3 even though it would fit.
+	d = m.Map(Context{Now: 40, Queue: queue, FreeNodes: 70}, rng.New(1))
+	if want := []int{1}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (head-of-line blocking)", d.Start, want)
+	}
+	if len(d.Drop) != 0 {
+		t.Error("FCFS must not drop")
+	}
+}
+
+func TestFCFSDoesNotMutateQueue(t *testing.T) {
+	m := MustNew(core.FCFS)
+	queue := []Candidate{
+		cand(2, 1, 20, 1, 100),
+		cand(1, 1, 10, 1, 100),
+	}
+	m.Map(Context{Now: 0, Queue: queue, FreeNodes: 10}, rng.New(1))
+	if queue[0].ID != 2 || queue[1].ID != 1 {
+		t.Error("Map mutated the caller's queue order")
+	}
+}
+
+func TestRandomPlacesEverythingThatFits(t *testing.T) {
+	m := MustNew(core.RandomOrder)
+	queue := []Candidate{
+		cand(1, 60, 0, 1, 100),
+		cand(2, 60, 0, 1, 100),
+		cand(3, 30, 0, 1, 100),
+	}
+	// Only one of the 60s fits; the 30 always fits afterwards. Random
+	// order skips the non-fitting app and keeps going.
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(5))
+	if len(d.Start) != 2 {
+		t.Fatalf("Start = %v, want two apps placed", d.Start)
+	}
+	if !slices.Contains(d.Start, 3) {
+		t.Errorf("the 30-node app should always be placed, got %v", d.Start)
+	}
+}
+
+func TestRandomOrderVariesBySeed(t *testing.T) {
+	m := MustNew(core.RandomOrder)
+	var queue []Candidate
+	for i := 1; i <= 8; i++ {
+		queue = append(queue, cand(i, 1, 0, 1, 100))
+	}
+	a := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	b := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(2))
+	if slices.Equal(a.Start, b.Start) {
+		t.Error("different seeds produced identical random orders (unlikely for 8 apps)")
+	}
+	c := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if !slices.Equal(a.Start, c.Start) {
+		t.Error("same seed produced different orders")
+	}
+}
+
+func TestSlackDropsNegativeSlack(t *testing.T) {
+	m := MustNew(core.SlackBased)
+	queue := []Candidate{
+		cand(1, 10, 0, 100, 150), // slack +50 at t=0
+		cand(2, 10, 0, 100, 90),  // slack -10 at t=0: hopeless
+	}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if want := []int{2}; !slices.Equal(d.Drop, want) {
+		t.Errorf("Drop = %v, want %v", d.Drop, want)
+	}
+	if want := []int{1}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v", d.Start, want)
+	}
+}
+
+func TestSlackPrioritizesTightestFirst(t *testing.T) {
+	m := MustNew(core.SlackBased)
+	queue := []Candidate{
+		cand(1, 60, 0, 100, 300), // slack 200
+		cand(2, 60, 0, 100, 150), // slack 50: tighter
+	}
+	// Only one fits: the tighter one must win.
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60}, rng.New(1))
+	if want := []int{2}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (lowest slack first)", d.Start, want)
+	}
+}
+
+func TestSlackSkipsNonFittingButPlacesRest(t *testing.T) {
+	m := MustNew(core.SlackBased)
+	queue := []Candidate{
+		cand(1, 90, 0, 100, 150), // tightest but too big for 60 free
+		cand(2, 50, 0, 100, 400),
+	}
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60}, rng.New(1))
+	if want := []int{2}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v", d.Start, want)
+	}
+}
+
+func TestSlackTreatsNoDeadlineAsUndroppable(t *testing.T) {
+	m := MustNew(core.SlackBased)
+	queue := []Candidate{cand(1, 10, 0, 100, 0)} // no deadline
+	d := m.Map(Context{Now: 1e6, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if len(d.Drop) != 0 {
+		t.Error("deadline-free app dropped")
+	}
+	if want := []int{1}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v", d.Start, want)
+	}
+}
+
+func TestSlackUsesCurrentTime(t *testing.T) {
+	m := MustNew(core.SlackBased)
+	// Positive slack at arrival, negative by the time of this event.
+	queue := []Candidate{cand(1, 10, 0, 100, 150)}
+	d := m.Map(Context{Now: 60, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if want := []int{1}; !slices.Equal(d.Drop, want) {
+		t.Errorf("Drop = %v, want %v (slack gone stale)", d.Drop, want)
+	}
+}

@@ -1,0 +1,196 @@
+// Package selection implements the paper's Section VII "Resilience
+// Selection": letting the resource manager pick, per application, the
+// resilience technique most likely to give it the best performance.
+//
+// The selector is built the same way the paper derives its policy — from
+// the Section V scaling study. At construction it probes every
+// (application class, size) cell of a grid with a short Monte-Carlo study
+// per candidate technique and remembers the winner; at scheduling time an
+// arriving application is matched to its class and nearest size bucket.
+package selection
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exaresil/internal/appsim"
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/workload"
+)
+
+// Options tunes selector construction.
+type Options struct {
+	// Techniques are the candidates; nil means the cluster-study trio
+	// (Checkpoint Restart, Multilevel, Parallel Recovery).
+	Techniques []core.Technique
+	// SizeFractions is the probing grid; nil means the cluster-study
+	// size population.
+	SizeFractions []float64
+	// Trials is the number of Monte-Carlo probes per cell (default 20).
+	Trials int
+	// TimeSteps is the probe application length (default 1440, one day).
+	TimeSteps int
+	// HorizonFactor bounds probe runs as a multiple of the baseline
+	// (default 3, comparable to the deadline slack of the cluster
+	// studies).
+	HorizonFactor float64
+	// Seed drives the probes.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Techniques == nil {
+		o.Techniques = core.ClusterTechniques()
+	}
+	if o.SizeFractions == nil {
+		o.SizeFractions = workload.DefaultSizeFractions()
+	}
+	if o.Trials == 0 {
+		o.Trials = 20
+	}
+	if o.TimeSteps == 0 {
+		o.TimeSteps = 1440
+	}
+	if o.HorizonFactor == 0 {
+		o.HorizonFactor = 3
+	}
+	return o
+}
+
+// cell identifies one entry of the selection table.
+type cell struct {
+	class    string
+	fraction float64
+}
+
+// Choice records what the selector learned for one cell.
+type Choice struct {
+	// Class and Fraction identify the cell.
+	Class    workload.Class
+	Fraction float64
+	// Best is the winning technique.
+	Best core.Technique
+	// Efficiency is each candidate's mean probe efficiency, indexed as
+	// Options.Techniques.
+	Efficiency []float64
+}
+
+// Selector picks resilience techniques per application.
+type Selector struct {
+	techniques []core.Technique
+	fractions  []float64
+	machine    machine.Config
+	table      map[cell]Choice
+}
+
+// NewSelector builds a selector for the given machine and failure model by
+// probing the technique/size grid. Construction cost is that of
+// (classes x fractions x techniques x trials) short simulations; the
+// resulting Selector is immutable and safe for concurrent use.
+func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config, opts Options) (*Selector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("selection: nil failure model")
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if len(opts.Techniques) == 0 {
+		return nil, fmt.Errorf("selection: no candidate techniques")
+	}
+	if len(opts.SizeFractions) == 0 {
+		return nil, fmt.Errorf("selection: no size fractions")
+	}
+
+	s := &Selector{
+		techniques: opts.Techniques,
+		fractions:  append([]float64(nil), opts.SizeFractions...),
+		machine:    cfg,
+		table:      make(map[cell]Choice),
+	}
+	sort.Float64s(s.fractions)
+
+	probe := uint64(0)
+	for _, class := range workload.Classes() {
+		for _, frac := range s.fractions {
+			app := workload.App{
+				ID:        0,
+				Class:     class,
+				TimeSteps: opts.TimeSteps,
+				Nodes:     cfg.NodesForFraction(frac),
+			}
+			choice := Choice{Class: class, Fraction: frac, Best: opts.Techniques[0]}
+			bestEff := math.Inf(-1)
+			for _, tech := range opts.Techniques {
+				x, err := resilience.New(tech, app, cfg, model, rc)
+				if err != nil {
+					return nil, fmt.Errorf("selection: probing %v on %s@%.0f%%: %w",
+						tech, class.Name, 100*frac, err)
+				}
+				st := appsim.Run(appsim.TrialSpec{
+					Executor:      x,
+					Trials:        opts.Trials,
+					Seed:          opts.Seed ^ (probe * 0x9e3779b97f4a7c15),
+					HorizonFactor: opts.HorizonFactor,
+				})
+				probe++
+				choice.Efficiency = append(choice.Efficiency, st.Efficiency.Mean)
+				if st.Efficiency.Mean > bestEff {
+					bestEff = st.Efficiency.Mean
+					choice.Best = tech
+				}
+			}
+			s.table[cell{class.Name, frac}] = choice
+		}
+	}
+	return s, nil
+}
+
+// Techniques reports the candidate set the selector was built over.
+func (s *Selector) Techniques() []core.Technique {
+	return append([]core.Technique(nil), s.techniques...)
+}
+
+// Choose picks the technique for an application: its class's table row at
+// the size bucket nearest the application's machine fraction.
+func (s *Selector) Choose(app workload.App) core.Technique {
+	frac := float64(app.Nodes) / float64(s.machine.Nodes)
+	nearest := s.fractions[0]
+	for _, f := range s.fractions {
+		if math.Abs(f-frac) < math.Abs(nearest-frac) {
+			nearest = f
+		}
+	}
+	if c, ok := s.table[cell{app.Class.Name, nearest}]; ok {
+		return c.Best
+	}
+	// Unknown class (user-defined): fall back to the paper's overall
+	// winner, Parallel Recovery, if it is a candidate.
+	for _, t := range s.techniques {
+		if t == core.ParallelRecovery {
+			return t
+		}
+	}
+	return s.techniques[0]
+}
+
+// Choices returns the full selection table, ordered by class then size,
+// for reports and the selection example.
+func (s *Selector) Choices() []Choice {
+	out := make([]Choice, 0, len(s.table))
+	for _, class := range workload.Classes() {
+		for _, frac := range s.fractions {
+			if c, ok := s.table[cell{class.Name, frac}]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

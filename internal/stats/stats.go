@@ -1,0 +1,131 @@
+// Package stats provides the small set of statistical tools the studies
+// need: streaming accumulators for mean and standard deviation (Welford's
+// algorithm, numerically stable over the hundreds of trials each figure
+// averages), summaries, and confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes running mean and variance using Welford's online
+// algorithm. The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds a batch of observations.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Merge folds another accumulator into this one (Chan et al.'s parallel
+// variance combination), letting worker goroutines accumulate privately
+// and combine at the end.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	delta := b.mean - a.mean
+	total := na + nb
+	a.m2 += b.m2 + delta*delta*na*nb/total
+	a.mean += delta * nb / total
+	a.n += b.n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (zero for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest observation (zero for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest observation (zero for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// StdErr reports the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 reports the half-width of a normal-approximation 95% confidence
+// interval for the mean. With the >= 50 trials the studies use, the normal
+// approximation is adequate.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Summary freezes an accumulator into a value type for reports.
+type Summary struct {
+	// N is the observation count.
+	N int
+	// Mean, StdDev, Min and Max summarize the sample.
+	Mean, StdDev, Min, Max float64
+	// CI95 is the 95% confidence half-width of the mean.
+	CI95 float64
+}
+
+// Summarize freezes the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		N:      a.n,
+		Mean:   a.mean,
+		StdDev: a.StdDev(),
+		Min:    a.min,
+		Max:    a.max,
+		CI95:   a.CI95(),
+	}
+}
+
+// String renders the summary as "mean ± std (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.3g (n=%d)", s.Mean, s.StdDev, s.N)
+}

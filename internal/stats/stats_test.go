@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(7)
+	if a.N() != 1 || a.Mean() != 7 || a.Variance() != 0 {
+		t.Errorf("single observation: n=%d mean=%v var=%v", a.N(), a.Mean(), a.Variance())
+	}
+	if a.Min() != 7 || a.Max() != 7 {
+		t.Error("min/max wrong for single observation")
+	}
+}
+
+func TestKnownMoments(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+	if got, want := a.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Classic catastrophic-cancellation case: large offset, tiny spread.
+	var a Accumulator
+	for _, x := range []float64{1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16} {
+		a.Add(x)
+	}
+	if got, want := a.Variance(), 30.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("variance = %v, want %v (stability loss)", got, want)
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	prop := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		var whole Accumulator
+		whole.AddAll(xs)
+
+		k := 0
+		if len(xs) > 0 {
+			k = int(split) % (len(xs) + 1)
+		}
+		var left, right Accumulator
+		left.AddAll(xs[:k])
+		right.AddAll(xs[k:])
+		left.Merge(right)
+
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(whole.Mean()))
+		if math.Abs(left.Mean()-whole.Mean()) > tol {
+			return false
+		}
+		vtol := 1e-6 * math.Max(1, whole.Variance())
+		return math.Abs(left.Variance()-whole.Variance()) <= vtol &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	a.AddAll([]float64{1, 2, 3})
+	saved := a.Summarize()
+	a.Merge(b) // empty right side
+	if a.Summarize() != saved {
+		t.Error("merging an empty accumulator changed the result")
+	}
+	b.Merge(a) // empty left side
+	if b.Summarize() != saved {
+		t.Error("merging into an empty accumulator lost data")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i % 2)) // mean 0.5, sd ~0.5025
+	}
+	want := 1.96 * a.StdDev() / 10
+	if math.Abs(a.CI95()-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", a.CI95(), want)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{1, 2, 3})
+	s := a.Summarize().String()
+	if s == "" {
+		t.Error("empty summary string")
+	}
+}

@@ -1,0 +1,143 @@
+// Package units defines the physical quantities used throughout the
+// simulator: simulation time, data sizes, bandwidths, and event rates.
+//
+// The canonical simulation time unit is the minute, stored as a float64,
+// because the paper's application model is built from one-minute time steps
+// and all of its cost equations are most naturally expressed in minutes.
+// Typed wrappers keep conversions explicit and prevent unit mix-ups such as
+// dividing gigabytes by a per-minute rate.
+package units
+
+import "fmt"
+
+// Duration is a span of simulated time, measured in minutes.
+type Duration float64
+
+// Convenient duration constructors.
+const (
+	// Microsecond is one microsecond expressed in minutes.
+	Microsecond Duration = 1.0 / 60e6
+	// Second is one second expressed in minutes.
+	Second Duration = 1.0 / 60.0
+	// Minute is the canonical unit.
+	Minute Duration = 1
+	// Hour is sixty minutes.
+	Hour Duration = 60
+	// Day is twenty-four hours.
+	Day Duration = 24 * Hour
+	// Year is 365 days, the convention used for MTBF figures in the paper.
+	Year Duration = 365 * Day
+)
+
+// Minutes reports d as a raw float64 minute count.
+func (d Duration) Minutes() float64 { return float64(d) }
+
+// Seconds reports d in seconds.
+func (d Duration) Seconds() float64 { return float64(d) * 60 }
+
+// Hours reports d in hours.
+func (d Duration) Hours() float64 { return float64(d) / 60 }
+
+// Days reports d in days.
+func (d Duration) Days() float64 { return float64(d) / float64(Day) }
+
+// Years reports d in (365-day) years.
+func (d Duration) Years() float64 { return float64(d) / float64(Year) }
+
+// String renders the duration with a unit chosen for readability.
+func (d Duration) String() string {
+	switch abs := max(d, -d); {
+	case abs >= Year:
+		return fmt.Sprintf("%.3gy", d.Years())
+	case abs >= Day:
+		return fmt.Sprintf("%.3gd", d.Days())
+	case abs >= Hour:
+		return fmt.Sprintf("%.3gh", d.Hours())
+	case abs >= Minute:
+		return fmt.Sprintf("%.4gmin", d.Minutes())
+	case abs >= Second:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	case abs >= Second/1000:
+		return fmt.Sprintf("%.4gms", d.Seconds()*1e3)
+	default:
+		return fmt.Sprintf("%.4gus", d.Seconds()*1e6)
+	}
+}
+
+// DataSize is an amount of data, measured in gigabytes.
+type DataSize float64
+
+// Common data sizes.
+const (
+	// Gigabyte is the canonical unit.
+	Gigabyte DataSize = 1
+	// Terabyte is 1000 gigabytes.
+	Terabyte DataSize = 1000
+	// Petabyte is 1000 terabytes.
+	Petabyte DataSize = 1000 * Terabyte
+)
+
+// Gigabytes reports s as a raw float64 gigabyte count.
+func (s DataSize) Gigabytes() float64 { return float64(s) }
+
+// String renders the size with a unit chosen for readability.
+func (s DataSize) String() string {
+	switch abs := max(s, -s); {
+	case abs >= Petabyte:
+		return fmt.Sprintf("%.4gPB", float64(s/Petabyte))
+	case abs >= Terabyte:
+		return fmt.Sprintf("%.4gTB", float64(s/Terabyte))
+	default:
+		return fmt.Sprintf("%.4gGB", float64(s))
+	}
+}
+
+// Bandwidth is a data-transfer rate, measured in gigabytes per second.
+type Bandwidth float64
+
+// GBPerSecond is the canonical bandwidth unit.
+const GBPerSecond Bandwidth = 1
+
+// Transfer reports the time needed to move size at bandwidth b.
+// It panics if b is not positive: a zero or negative bandwidth is always a
+// configuration bug, and silently producing +Inf would poison every
+// downstream cost equation.
+func (b Bandwidth) Transfer(size DataSize) Duration {
+	if b <= 0 {
+		panic(fmt.Sprintf("units: non-positive bandwidth %v", float64(b)))
+	}
+	return Duration(float64(size)/float64(b)) * Second
+}
+
+// String renders the bandwidth.
+func (b Bandwidth) String() string { return fmt.Sprintf("%.4gGB/s", float64(b)) }
+
+// Rate is an event rate, measured in events per minute. It is the natural
+// parameter of the exponential inter-arrival distributions used by the
+// failure model.
+type Rate float64
+
+// RatePer converts an expected count of events per interval into a Rate.
+// For example RatePer(1, 10*units.Year) is the failure rate of a component
+// with a ten-year MTBF.
+func RatePer(events float64, interval Duration) Rate {
+	if interval <= 0 {
+		panic(fmt.Sprintf("units: non-positive interval %v", interval))
+	}
+	return Rate(events / float64(interval))
+}
+
+// PerMinute reports r as a raw events-per-minute float64.
+func (r Rate) PerMinute() float64 { return float64(r) }
+
+// MeanInterval reports the expected spacing between events at rate r.
+// It panics for non-positive rates.
+func (r Rate) MeanInterval() Duration {
+	if r <= 0 {
+		panic(fmt.Sprintf("units: non-positive rate %v", float64(r)))
+	}
+	return Duration(1 / float64(r))
+}
+
+// String renders the rate.
+func (r Rate) String() string { return fmt.Sprintf("%.4g/min", float64(r)) }

@@ -1,0 +1,154 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDurationConversions(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Duration
+		want float64
+		get  func(Duration) float64
+	}{
+		{"minutes", 90 * Minute, 90, Duration.Minutes},
+		{"seconds", Minute, 60, Duration.Seconds},
+		{"hours", 90 * Minute, 1.5, Duration.Hours},
+		{"days", 36 * Hour, 1.5, Duration.Days},
+		{"years", 730 * Day, 2, Duration.Years},
+		{"microsecond", Microsecond, 1e-6, Duration.Seconds},
+	}
+	for _, c := range cases {
+		if got := c.get(c.d); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{10 * Year, "10y"},
+		{2 * Day, "2d"},
+		{3 * Hour, "3h"},
+		{42 * Minute, "42min"},
+		{30 * Second, "30s"},
+		{200 * Second / 1000, "200ms"},
+		{10 * Microsecond, "10us"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%v min): got %q want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDataSizeString(t *testing.T) {
+	cases := []struct {
+		s    DataSize
+		want string
+	}{
+		{64 * Gigabyte, "64GB"},
+		{1.5 * Terabyte, "1.5TB"},
+		{2 * Petabyte, "2PB"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%v GB): got %q want %q", float64(c.s), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthTransfer(t *testing.T) {
+	// 64 GB at 320 GB/s is 0.2 s: the paper's level-one checkpoint cost.
+	got := (320 * GBPerSecond).Transfer(64 * Gigabyte)
+	if !almostEqual(got.Seconds(), 0.2, 1e-12) {
+		t.Errorf("Transfer: got %v s want 0.2 s", got.Seconds())
+	}
+}
+
+func TestBandwidthTransferPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	Bandwidth(0).Transfer(Gigabyte)
+}
+
+func TestRatePer(t *testing.T) {
+	// A ten-year MTBF component fails at 1/(10*525600) per minute.
+	r := RatePer(1, 10*Year)
+	want := 1.0 / (10 * 525600)
+	if !almostEqual(r.PerMinute(), want, 1e-12) {
+		t.Errorf("RatePer: got %v want %v", r.PerMinute(), want)
+	}
+	if got := r.MeanInterval(); !almostEqual(got.Years(), 10, 1e-12) {
+		t.Errorf("MeanInterval: got %v years want 10", got.Years())
+	}
+}
+
+func TestRatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"RatePer zero interval": func() { RatePer(1, 0) },
+		"MeanInterval zero":     func() { Rate(0).MeanInterval() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestTransferRoundTrip checks size == bandwidth * Transfer(size) for
+// arbitrary positive inputs.
+func TestTransferRoundTrip(t *testing.T) {
+	prop := func(sizeGB, bwGBs float64) bool {
+		size := DataSize(math.Abs(sizeGB)) + 0.001
+		bw := Bandwidth(math.Abs(bwGBs)) + 0.001
+		d := bw.Transfer(size)
+		return almostEqual(d.Seconds()*float64(bw), float64(size), 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRateRoundTrip checks RatePer(1, d).MeanInterval() == d.
+func TestRateRoundTrip(t *testing.T) {
+	prop := func(mins float64) bool {
+		d := Duration(math.Abs(mins)) + 0.001
+		return almostEqual(float64(RatePer(1, d).MeanInterval()), float64(d), 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringsHaveUnits(t *testing.T) {
+	if !strings.HasSuffix((5 * Minute).String(), "min") {
+		t.Error("Duration.String missing unit suffix")
+	}
+	if !strings.HasSuffix((5 * Gigabyte).String(), "GB") {
+		t.Error("DataSize.String missing unit suffix")
+	}
+	if !strings.HasSuffix((5 * GBPerSecond).String(), "GB/s") {
+		t.Error("Bandwidth.String missing unit suffix")
+	}
+	if !strings.HasSuffix(Rate(5).String(), "/min") {
+		t.Error("Rate.String missing unit suffix")
+	}
+}

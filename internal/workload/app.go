@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"exaresil/internal/units"
+)
+
+// App is one application instance submitted to the simulated system. Apps
+// are immutable descriptors; execution state lives in the simulators.
+type App struct {
+	// ID identifies the app within its arrival pattern.
+	ID int
+	// Class is the synthetic benchmark type (Table I).
+	Class Class
+	// TimeSteps is T_S, the number of one-minute steps of useful work.
+	TimeSteps int
+	// Nodes is N_a, the number of (virtual) nodes the app requires. A
+	// redundant execution occupies more physical nodes than this; see the
+	// resilience package.
+	Nodes int
+	// Arrival is T_A, when the app is submitted.
+	Arrival units.Duration
+	// Deadline is T_D; zero means no deadline (the Section V studies).
+	Deadline units.Duration
+}
+
+// Baseline is T_B, the delay-free execution time: T_S steps of
+// (T_W + T_C) = 1 minute each. Resilience-technique overheads (message
+// logging's mu, redundancy's r) are properties of the technique, not of the
+// app, and are applied by the resilience package.
+func (a App) Baseline() units.Duration {
+	return units.Duration(a.TimeSteps) * units.Minute
+}
+
+// MemoryTotal reports the application's aggregate checkpoint footprint
+// across all of its nodes.
+func (a App) MemoryTotal() units.DataSize {
+	return a.Class.MemoryPerNode * units.DataSize(a.Nodes)
+}
+
+// Slack reports T_D - (T_A + T_B): the scheduling headroom the app has at
+// submission. Negative slack means the deadline is unreachable even with
+// immediate placement and failure-free execution. Apps without deadlines
+// report infinite-like slack via ok=false.
+func (a App) Slack() (slack units.Duration, ok bool) {
+	if a.Deadline <= 0 {
+		return 0, false
+	}
+	return a.Deadline - (a.Arrival + a.Baseline()), true
+}
+
+// Validate reports whether the app descriptor is meaningful.
+func (a App) Validate() error {
+	if err := a.Class.Validate(); err != nil {
+		return err
+	}
+	if a.TimeSteps <= 0 {
+		return fmt.Errorf("workload: app %d has %d time steps, want > 0", a.ID, a.TimeSteps)
+	}
+	if a.Nodes <= 0 {
+		return fmt.Errorf("workload: app %d needs %d nodes, want > 0", a.ID, a.Nodes)
+	}
+	if a.Arrival < 0 {
+		return fmt.Errorf("workload: app %d arrives at %v, want >= 0", a.ID, a.Arrival)
+	}
+	if a.Deadline < 0 {
+		return fmt.Errorf("workload: app %d deadline %v, want >= 0", a.ID, a.Deadline)
+	}
+	return nil
+}
+
+// String renders the app for logs and reports.
+func (a App) String() string {
+	return fmt.Sprintf("app %d [%s, %d nodes, T_B=%s, arrives %s]",
+		a.ID, a.Class.Name, a.Nodes, a.Baseline(), a.Arrival)
+}

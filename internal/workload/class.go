@@ -1,0 +1,87 @@
+// Package workload implements the paper's synthetic benchmark applications
+// and the arrival patterns submitted to the simulated machine.
+//
+// The benchmarks are "equation-based": an application is a sequence of
+// identical one-minute time steps, each split between communication (T_C)
+// and computation (T_W = 1 - T_C), with a fixed per-node memory footprint.
+// Eight classes (Table I of the paper) cross four communication
+// intensities with two memory footprints, spanning the range the NAS
+// Parallel Benchmark suite exhibits at scale — from EP-like (no
+// communication) to BT-like at its most communication-bound input (~75%).
+// All classes scale weakly: growing an application adds nodes without
+// changing per-step behaviour.
+package workload
+
+import (
+	"fmt"
+
+	"exaresil/internal/units"
+)
+
+// Class is one of the synthetic benchmark application types of Table I.
+type Class struct {
+	// Name is the Table I label, e.g. "C64".
+	Name string
+	// CommFraction is T_C, the fraction of each time step spent
+	// communicating, in [0, 1).
+	CommFraction float64
+	// MemoryPerNode is N_m, the per-node memory footprint.
+	MemoryPerNode units.DataSize
+}
+
+// WorkFraction is T_W = 1 - T_C, the fraction of each step spent computing.
+func (c Class) WorkFraction() float64 { return 1 - c.CommFraction }
+
+// String renders the class for reports.
+func (c Class) String() string {
+	return fmt.Sprintf("%s (T_C=%.2f, %s/node)", c.Name, c.CommFraction, c.MemoryPerNode)
+}
+
+// Validate reports whether the class parameters are meaningful.
+func (c Class) Validate() error {
+	if c.CommFraction < 0 || c.CommFraction >= 1 {
+		return fmt.Errorf("workload: class %q communication fraction %v outside [0,1)", c.Name, c.CommFraction)
+	}
+	if c.MemoryPerNode <= 0 {
+		return fmt.Errorf("workload: class %q memory per node %v must be positive", c.Name, c.MemoryPerNode)
+	}
+	return nil
+}
+
+// The eight Table I classes. Letters encode communication intensity
+// (A: 0%, B: 25%, C: 50%, D: 75%); the numeric suffix is the per-node
+// memory footprint in gigabytes.
+var (
+	A32 = Class{Name: "A32", CommFraction: 0.00, MemoryPerNode: 32 * units.Gigabyte}
+	A64 = Class{Name: "A64", CommFraction: 0.00, MemoryPerNode: 64 * units.Gigabyte}
+	B32 = Class{Name: "B32", CommFraction: 0.25, MemoryPerNode: 32 * units.Gigabyte}
+	B64 = Class{Name: "B64", CommFraction: 0.25, MemoryPerNode: 64 * units.Gigabyte}
+	C32 = Class{Name: "C32", CommFraction: 0.50, MemoryPerNode: 32 * units.Gigabyte}
+	C64 = Class{Name: "C64", CommFraction: 0.50, MemoryPerNode: 64 * units.Gigabyte}
+	D32 = Class{Name: "D32", CommFraction: 0.75, MemoryPerNode: 32 * units.Gigabyte}
+	D64 = Class{Name: "D64", CommFraction: 0.75, MemoryPerNode: 64 * units.Gigabyte}
+)
+
+// Classes returns the eight Table I application types in table order
+// (by communication intensity, then memory footprint).
+func Classes() []Class {
+	return []Class{A32, A64, B32, B64, C32, C64, D32, D64}
+}
+
+// ClassByName looks a class up by its Table I label.
+func ClassByName(name string) (Class, bool) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Class{}, false
+}
+
+// HighMemoryClasses returns the classes with the 64 GB/node footprint, the
+// population of Section VII's high-memory biased arrival patterns.
+func HighMemoryClasses() []Class { return []Class{A64, B64, C64, D64} }
+
+// HighCommClasses returns the classes with T_C > 0.25, the population of
+// Section VII's high-communication biased arrival patterns.
+func HighCommClasses() []Class { return []Class{C32, C64, D32, D64} }

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+// Bias selects the application population of an arrival pattern
+// (Section VII). The biased populations were chosen by the paper because
+// they are the hardest to schedule.
+type Bias int
+
+// The four arrival-pattern populations of Figure 5.
+const (
+	// Unbiased draws uniformly from all eight Table I classes and every
+	// size fraction.
+	Unbiased Bias = iota
+	// HighMemory draws only classes with N_m = 64 GB/node.
+	HighMemory
+	// HighComm draws only classes with T_C > 0.25.
+	HighComm
+	// LargeApps draws only the 12%, 25%, and 50% size fractions.
+	LargeApps
+
+	numBiases
+)
+
+// Biases lists the pattern populations in the paper's Figure 5 order.
+func Biases() []Bias { return []Bias{Unbiased, HighMemory, HighComm, LargeApps} }
+
+// String names the bias as Figure 5's group labels do.
+func (b Bias) String() string {
+	switch b {
+	case Unbiased:
+		return "Unbiased"
+	case HighMemory:
+		return "High Memory"
+	case HighComm:
+		return "High Communication"
+	case LargeApps:
+		return "Large Applications"
+	default:
+		return fmt.Sprintf("Bias(%d)", int(b))
+	}
+}
+
+// classes reports the class population for the bias.
+func (b Bias) classes() []Class {
+	switch b {
+	case HighMemory:
+		return HighMemoryClasses()
+	case HighComm:
+		return HighCommClasses()
+	default:
+		return Classes()
+	}
+}
+
+// sizeFractions reports the machine-fraction population for the bias given
+// the study's default size set.
+func (b Bias) sizeFractions(defaults []float64) []float64 {
+	if b != LargeApps {
+		return defaults
+	}
+	var large []float64
+	for _, f := range defaults {
+		if f >= 0.12 {
+			large = append(large, f)
+		}
+	}
+	if len(large) == 0 {
+		return defaults
+	}
+	return large
+}
+
+// DefaultSizeFractions is the Section VI size population: approximately
+// one, two, three, six, twelve, twenty-five, and fifty percent of the
+// exascale machine (10 to 500 petaflops). Exascale-sized applications are
+// excluded from the cluster studies.
+func DefaultSizeFractions() []float64 {
+	return []float64{0.01, 0.02, 0.03, 0.06, 0.12, 0.25, 0.50}
+}
+
+// DefaultBaselineSteps is the Section VI baseline-duration population:
+// six, twelve, twenty-four, or forty-eight hours of one-minute steps.
+func DefaultBaselineSteps() []int { return []int{360, 720, 1440, 2880} }
+
+// PatternSpec describes how to generate one arrival pattern.
+type PatternSpec struct {
+	// Arrivals is the number of applications that arrive after time zero
+	// (the paper uses 100 per pattern).
+	Arrivals int
+	// MeanInterarrival is the Poisson arrival process mean (paper: 2 h).
+	MeanInterarrival units.Duration
+	// Bias selects the application population.
+	Bias Bias
+	// FillSystem, when true, adds applications arriving at time zero
+	// until the machine is (approximately) full, forcing the simulation
+	// to begin at full utilization as in Section VI.
+	FillSystem bool
+	// BaselineSteps is the population of T_S values; nil means
+	// DefaultBaselineSteps.
+	BaselineSteps []int
+	// SizeFractions is the population of machine fractions; nil means
+	// DefaultSizeFractions (possibly narrowed by Bias).
+	SizeFractions []float64
+	// SlackLo and SlackHi bound the uniform deadline factor U of Eq. 1;
+	// zero values mean the paper's 1.2 and 2.0.
+	SlackLo, SlackHi float64
+}
+
+// withDefaults returns spec with zero fields replaced by paper defaults.
+func (spec PatternSpec) withDefaults() PatternSpec {
+	if spec.Arrivals == 0 {
+		spec.Arrivals = 100
+	}
+	if spec.MeanInterarrival == 0 {
+		spec.MeanInterarrival = 2 * units.Hour
+	}
+	if spec.BaselineSteps == nil {
+		spec.BaselineSteps = DefaultBaselineSteps()
+	}
+	if spec.SizeFractions == nil {
+		spec.SizeFractions = DefaultSizeFractions()
+	}
+	if spec.SlackLo == 0 {
+		spec.SlackLo = 1.2
+	}
+	if spec.SlackHi == 0 {
+		spec.SlackHi = 2.0
+	}
+	return spec
+}
+
+// Pattern is a generated set of application submissions, sorted by arrival
+// time. The initial system-filling apps (if any) arrive at exactly zero.
+type Pattern struct {
+	// Apps holds every submission in nondecreasing arrival order.
+	Apps []App
+	// InitialFill is the count of leading apps that arrive at time zero
+	// to fill the machine.
+	InitialFill int
+}
+
+// Arrived reports the apps that arrive after time zero, i.e. the pattern
+// proper, excluding the initial fill.
+func (p Pattern) Arrived() []App { return p.Apps[p.InitialFill:] }
+
+// Generate builds one arrival pattern for the given machine using src for
+// every random choice. Identical (spec, cfg, seed) triples generate
+// identical patterns.
+func (spec PatternSpec) Generate(cfg machine.Config, src *rng.Source) Pattern {
+	spec = spec.withDefaults()
+	classes := spec.Bias.classes()
+	fractions := spec.Bias.sizeFractions(spec.SizeFractions)
+
+	var pattern Pattern
+	id := 0
+
+	draw := func(arrival units.Duration, sizes []float64) App {
+		class := classes[src.Intn(len(classes))]
+		steps := spec.BaselineSteps[src.Intn(len(spec.BaselineSteps))]
+		frac := sizes[src.Intn(len(sizes))]
+		app := App{
+			ID:        id,
+			Class:     class,
+			TimeSteps: steps,
+			Nodes:     cfg.NodesForFraction(frac),
+			Arrival:   arrival,
+		}
+		u := src.Uniform(spec.SlackLo, spec.SlackHi)
+		app.Deadline = arrival + units.Duration(u*float64(app.Baseline()))
+		id++
+		return app
+	}
+
+	if spec.FillSystem {
+		// Pack apps at time zero until no population size fits in the
+		// remaining nodes, drawing uniformly among the sizes that fit.
+		free := cfg.Nodes
+		for {
+			var fit []float64
+			for _, f := range fractions {
+				if cfg.NodesForFraction(f) <= free {
+					fit = append(fit, f)
+				}
+			}
+			if len(fit) == 0 {
+				break
+			}
+			app := draw(0, fit)
+			free -= app.Nodes
+			pattern.Apps = append(pattern.Apps, app)
+		}
+		pattern.InitialFill = len(pattern.Apps)
+	}
+
+	t := units.Duration(0)
+	rate := 1 / spec.MeanInterarrival.Minutes()
+	for i := 0; i < spec.Arrivals; i++ {
+		t += units.Duration(src.Exp(rate))
+		pattern.Apps = append(pattern.Apps, draw(t, fractions))
+	}
+
+	sort.SliceStable(pattern.Apps, func(i, j int) bool {
+		return pattern.Apps[i].Arrival < pattern.Apps[j].Arrival
+	})
+	return pattern
+}
+
+// TotalNodesAt reports how many nodes the pattern's initial fill occupies;
+// a sanity metric used by tests and the workload inspector.
+func (p Pattern) TotalNodesAt(zero bool) int {
+	total := 0
+	for _, a := range p.Apps {
+		if !zero || a.Arrival == 0 {
+			total += a.Nodes
+		}
+	}
+	return total
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaresil/internal/machine"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+)
+
+func TestTableIClasses(t *testing.T) {
+	classes := Classes()
+	if len(classes) != 8 {
+		t.Fatalf("Table I defines 8 classes, got %d", len(classes))
+	}
+	wantComm := map[byte]float64{'A': 0, 'B': 0.25, 'C': 0.5, 'D': 0.75}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate class %s", c.Name)
+		}
+		seen[c.Name] = true
+		if got := wantComm[c.Name[0]]; c.CommFraction != got {
+			t.Errorf("%s: T_C = %v, want %v", c.Name, c.CommFraction, got)
+		}
+		switch c.Name[1:] {
+		case "32":
+			if c.MemoryPerNode != 32*units.Gigabyte {
+				t.Errorf("%s: memory %v", c.Name, c.MemoryPerNode)
+			}
+		case "64":
+			if c.MemoryPerNode != 64*units.Gigabyte {
+				t.Errorf("%s: memory %v", c.Name, c.MemoryPerNode)
+			}
+		default:
+			t.Errorf("unexpected class name %s", c.Name)
+		}
+		if math.Abs(c.CommFraction+c.WorkFraction()-1) > 1e-12 {
+			t.Errorf("%s: T_C + T_W != 1", c.Name)
+		}
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	c, ok := ClassByName("D64")
+	if !ok || c.CommFraction != 0.75 || c.MemoryPerNode != 64*units.Gigabyte {
+		t.Errorf("ClassByName(D64) = %v, %v", c, ok)
+	}
+	if _, ok := ClassByName("Z99"); ok {
+		t.Error("ClassByName should miss on unknown names")
+	}
+}
+
+func TestBiasPopulations(t *testing.T) {
+	for _, c := range HighMemoryClasses() {
+		if c.MemoryPerNode != 64*units.Gigabyte {
+			t.Errorf("high-memory population includes %s", c.Name)
+		}
+	}
+	for _, c := range HighCommClasses() {
+		if c.CommFraction <= 0.25 {
+			t.Errorf("high-comm population includes %s (T_C=%v)", c.Name, c.CommFraction)
+		}
+	}
+	if len(HighMemoryClasses()) != 4 || len(HighCommClasses()) != 4 {
+		t.Error("biased populations should each have 4 classes")
+	}
+}
+
+func TestAppBaseline(t *testing.T) {
+	a := App{ID: 1, Class: C32, TimeSteps: 1440, Nodes: 100}
+	if got := a.Baseline(); got != units.Day {
+		t.Errorf("1440 steps baseline = %v, want 1 day", got)
+	}
+	if got := a.MemoryTotal(); got != 3200*units.Gigabyte {
+		t.Errorf("memory total %v, want 3200GB", got)
+	}
+}
+
+func TestAppSlack(t *testing.T) {
+	a := App{ID: 1, Class: A32, TimeSteps: 360, Nodes: 1,
+		Arrival: 100, Deadline: 100 + 1.5*360}
+	slack, ok := a.Slack()
+	if !ok {
+		t.Fatal("deadline app reported no slack")
+	}
+	if math.Abs(float64(slack)-0.5*360) > 1e-9 {
+		t.Errorf("slack = %v, want 180", slack)
+	}
+	if _, ok := (App{Deadline: 0}).Slack(); ok {
+		t.Error("deadline-free app should report ok=false")
+	}
+}
+
+func TestAppValidate(t *testing.T) {
+	good := App{ID: 0, Class: B64, TimeSteps: 360, Nodes: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid app rejected: %v", err)
+	}
+	bad := []App{
+		{Class: B64, TimeSteps: 0, Nodes: 5},
+		{Class: B64, TimeSteps: 10, Nodes: 0},
+		{Class: B64, TimeSteps: 10, Nodes: 5, Arrival: -1},
+		{Class: B64, TimeSteps: 10, Nodes: 5, Deadline: -1},
+		{Class: Class{Name: "bad", CommFraction: 1.5, MemoryPerNode: 1}, TimeSteps: 10, Nodes: 5},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad app %d passed validation", i)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := machine.Exascale()
+	spec := PatternSpec{FillSystem: true}
+	a := spec.Generate(cfg, rng.New(7))
+	b := spec.Generate(cfg, rng.New(7))
+	if len(a.Apps) != len(b.Apps) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(a.Apps), len(b.Apps))
+	}
+	for i := range a.Apps {
+		if a.Apps[i] != b.Apps[i] {
+			t.Fatalf("apps %d differ: %v vs %v", i, a.Apps[i], b.Apps[i])
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	cfg := machine.Exascale()
+	p := PatternSpec{}.Generate(cfg, rng.New(1))
+	if len(p.Apps) != 100 {
+		t.Fatalf("default pattern has %d apps, want 100", len(p.Apps))
+	}
+	if p.InitialFill != 0 {
+		t.Errorf("no-fill pattern reports fill %d", p.InitialFill)
+	}
+	stepsOK := map[int]bool{360: true, 720: true, 1440: true, 2880: true}
+	for _, a := range p.Apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("generated app invalid: %v", err)
+		}
+		if !stepsOK[a.TimeSteps] {
+			t.Errorf("app %d has %d steps, not in default population", a.ID, a.TimeSteps)
+		}
+		slack, ok := a.Slack()
+		if !ok {
+			t.Errorf("app %d missing deadline", a.ID)
+			continue
+		}
+		u := 1 + float64(slack)/float64(a.Baseline())
+		if u < 1.2-1e-9 || u > 2.0+1e-9 {
+			t.Errorf("app %d deadline factor %v outside [1.2, 2.0]", a.ID, u)
+		}
+	}
+	// Arrivals sorted, positive, with plausible Poisson mean (2h +- 40%).
+	var last units.Duration
+	for _, a := range p.Apps {
+		if a.Arrival < last {
+			t.Fatal("arrivals not sorted")
+		}
+		last = a.Arrival
+	}
+	meanGap := last.Hours() / float64(len(p.Apps))
+	if meanGap < 1.2 || meanGap > 2.8 {
+		t.Errorf("mean interarrival %v h, want ~2", meanGap)
+	}
+}
+
+func TestGenerateFillSystem(t *testing.T) {
+	cfg := machine.Exascale()
+	p := PatternSpec{FillSystem: true}.Generate(cfg, rng.New(3))
+	if p.InitialFill == 0 {
+		t.Fatal("fill requested but no initial apps generated")
+	}
+	filled := 0
+	for _, a := range p.Apps[:p.InitialFill] {
+		if a.Arrival != 0 {
+			t.Errorf("fill app %d arrives at %v, want 0", a.ID, a.Arrival)
+		}
+		filled += a.Nodes
+	}
+	if filled > cfg.Nodes {
+		t.Errorf("initial fill %d nodes exceeds machine %d", filled, cfg.Nodes)
+	}
+	// The machine must be nearly full: less than the smallest app left.
+	smallest := cfg.NodesForFraction(0.01)
+	if cfg.Nodes-filled >= smallest {
+		t.Errorf("fill left %d free nodes, more than smallest app %d", cfg.Nodes-filled, smallest)
+	}
+	if got := len(p.Arrived()); got != 100 {
+		t.Errorf("Arrived() = %d apps, want 100", got)
+	}
+}
+
+func TestGenerateBiases(t *testing.T) {
+	cfg := machine.Exascale()
+	cases := []struct {
+		bias  Bias
+		check func(App) bool
+		desc  string
+	}{
+		{HighMemory, func(a App) bool { return a.Class.MemoryPerNode == 64*units.Gigabyte }, "64GB memory"},
+		{HighComm, func(a App) bool { return a.Class.CommFraction > 0.25 }, "T_C > 0.25"},
+		{LargeApps, func(a App) bool { return a.Nodes >= cfg.NodesForFraction(0.12) }, ">= 12% of machine"},
+	}
+	for _, tc := range cases {
+		p := PatternSpec{Bias: tc.bias}.Generate(cfg, rng.New(5))
+		for _, a := range p.Apps {
+			if !tc.check(a) {
+				t.Errorf("%v pattern produced app violating %s: %v", tc.bias, tc.desc, a)
+			}
+		}
+	}
+}
+
+func TestGenerateUnbiasedCoversAllClasses(t *testing.T) {
+	cfg := machine.Exascale()
+	p := PatternSpec{Arrivals: 400}.Generate(cfg, rng.New(9))
+	seen := map[string]int{}
+	for _, a := range p.Apps {
+		seen[a.Class.Name]++
+	}
+	for _, c := range Classes() {
+		if seen[c.Name] == 0 {
+			t.Errorf("class %s never drawn in 400 apps", c.Name)
+		}
+	}
+}
+
+func TestBiasStrings(t *testing.T) {
+	for _, b := range Biases() {
+		if b.String() == "" || b.String()[0] == 'B' && b != Unbiased {
+			// Just ensure the default Bias(%d) form is not used.
+		}
+	}
+	if Bias(99).String() != "Bias(99)" {
+		t.Errorf("unknown bias string: %s", Bias(99))
+	}
+	if len(Biases()) != 4 {
+		t.Error("Figure 5 uses four pattern populations")
+	}
+}
+
+// TestGenerateProperty exercises arbitrary spec knobs and verifies the
+// generated pattern always satisfies the structural invariants.
+func TestGenerateProperty(t *testing.T) {
+	cfg := machine.Exascale()
+	prop := func(seed uint64, arrivals uint8, biasRaw uint8, fill bool) bool {
+		spec := PatternSpec{
+			Arrivals:   int(arrivals%50) + 1,
+			Bias:       Bias(biasRaw % 4),
+			FillSystem: fill,
+		}
+		p := spec.Generate(cfg, rng.New(seed))
+		if len(p.Arrived()) != spec.Arrivals {
+			return false
+		}
+		var last units.Duration
+		for _, a := range p.Apps {
+			if a.Validate() != nil || a.Arrival < last {
+				return false
+			}
+			last = a.Arrival
+			if a.Deadline < a.Arrival+a.Baseline() {
+				return false // deadline factor is always > 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
