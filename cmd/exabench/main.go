@@ -1,0 +1,260 @@
+// Command exabench runs the repository's exhibit benchmarks through
+// testing.Benchmark and writes a machine-readable summary so performance
+// regressions can be tracked between commits without parsing `go test
+// -bench` text output.
+//
+// Usage:
+//
+//	exabench [flags]
+//
+// Flags:
+//
+//	-out FILE   where to write the JSON summary (default BENCH_results.json)
+//	-run NAME   run only benchmarks whose name contains NAME
+//	-list       print the benchmark names and exit
+//
+// Each entry reports ns/op, bytes/op, and allocs/op for one exhibit at
+// the same reduced statistical scale as the root package's bench_test.go
+// (benchmarks measure harness cost, not paper numbers). The JSON schema:
+//
+//	{
+//	  "go_version": "go1.24.x",
+//	  "gomaxprocs": 8,
+//	  "results": [
+//	    {"name": "fig1", "iterations": 18, "ns_per_op": 6.1e7,
+//	     "bytes_per_op": 29000000, "allocs_per_op": 700000},
+//	    ...
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"exaresil"
+	"exaresil/internal/experiments"
+	"exaresil/internal/resilience"
+	"exaresil/internal/rng"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// benchResult is one benchmark's summary line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the file-level schema.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// bench names one exhibit benchmark.
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "exabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exabench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_results.json", "output JSON file")
+	match := fs.String("run", "", "run only benchmarks whose name contains this substring")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	benches := exhibitBenches()
+	if *list {
+		for _, b := range benches {
+			fmt.Println(b.name)
+		}
+		return nil
+	}
+
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, b := range benches {
+		if *match != "" && !strings.Contains(b.name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "exabench: running %s...\n", b.name)
+		r := testing.Benchmark(b.fn)
+		res := benchResult{
+			Name:        b.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-24s %12d ns/op %12d B/op %10d allocs/op\n",
+			b.name, int64(res.NsPerOp), res.BytesPerOp, res.AllocsPerOp)
+	}
+	if len(report.Results) == 0 {
+		return fmt.Errorf("no benchmarks matched %q", *match)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exabench: wrote %s\n", *out)
+	return f.Close()
+}
+
+// exhibitBenches mirrors the root package's bench_test.go scales so the
+// JSON numbers are comparable with `go test -bench` runs.
+func exhibitBenches() []bench {
+	return []bench{
+		{"fig1", func(b *testing.B) { benchScaling(b, workload.A32, 0) }},
+		{"fig2", func(b *testing.B) { benchScaling(b, workload.D64, 0) }},
+		{"fig3", func(b *testing.B) {
+			benchScaling(b, workload.D64, units.Duration(2.5)*units.Year)
+		}},
+		{"fig4", benchFig4},
+		{"fig5", benchFig5},
+		{"cluster_run", benchClusterRun},
+		{"executor_run", benchExecutorRun},
+		{"multilevel_optimizer", benchMultilevelOptimizer},
+	}
+}
+
+func benchScaling(b *testing.B, class workload.Class, mtbf units.Duration) {
+	cfg := experiments.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.ScalingSpec{
+			Config: cfg,
+			Class:  class,
+			MTBF:   mtbf,
+			Trials: 10,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no data points")
+		}
+	}
+}
+
+func benchFig4(b *testing.B) {
+	cfg := experiments.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.ClusterSpec{
+			Config:   cfg,
+			Patterns: 2,
+			Arrivals: 30,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) != 12 {
+			b.Fatalf("want 12 cells, got %d", len(res.Cells))
+		}
+	}
+}
+
+func benchFig5(b *testing.B) {
+	cfg := experiments.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.SelectionSpec{
+			Config:   cfg,
+			Patterns: 2,
+			Arrivals: 30,
+			Selection: exaresil.SelectorOptions{
+				Trials:        4,
+				TimeSteps:     360,
+				SizeFractions: []float64{0.01, 0.25},
+			},
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func benchClusterRun(b *testing.B) {
+	sim, err := exaresil.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := sim.GeneratePattern(exaresil.PatternSpec{Arrivals: 100, FillSystem: true}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCluster(exaresil.SlackBased, exaresil.ParallelRecovery, pattern, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExecutorRun(b *testing.B) {
+	sim, err := exaresil.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := exaresil.App{Class: exaresil.ClassC64, TimeSteps: 1440, Nodes: 30000}
+	x, err := sim.Executor(exaresil.ParallelRecovery, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Run(0, 1e9, src)
+	}
+}
+
+func benchMultilevelOptimizer(b *testing.B) {
+	costs := resilience.Costs{
+		L1:  units.Duration(0.0033),
+		L2:  units.Duration(0.0133),
+		PFS: 17 * units.Minute,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rates := [3]units.Rate{
+			units.Rate(0.0148 + float64(i%1000)*1e-9),
+			0.0057,
+			0.0023,
+		}
+		if _, err := resilience.OptimizeMultilevel(costs, rates, resilience.DefaultMultilevelConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

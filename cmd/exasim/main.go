@@ -20,6 +20,11 @@
 //	-csv DIR      additionally write each exhibit as DIR/<name>.csv
 //	-chart        additionally render figures as ASCII bar charts
 //	-workers N    worker goroutines (default all CPUs)
+//	-cpuprofile F write a pprof CPU profile of the whole run to F
+//	-memprofile F write a pprof allocation profile to F on exit
+//
+// Profiles are analyzed with the standard toolchain, e.g.
+// `go tool pprof exasim cpu.out`.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"exaresil/internal/experiments"
@@ -49,8 +56,36 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write CSV copies of each exhibit")
 	chart := fs.Bool("chart", false, "render figures as ASCII bar charts too")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exasim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "exasim: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
@@ -94,54 +95,70 @@ func Run(spec TrialSpec) TrialStats {
 
 	horizon := units.Duration(horizonFactor * float64(x.App().Baseline()))
 
-	type acc struct {
-		eff, makespan, failures, rollbacks, ckpts stats.Accumulator
-		completed                                 int
+	// Each trial writes its observations into its own slot; the aggregation
+	// below folds the slots in trial order. Trial i's randomness is
+	// rng.Stream(seed, i) regardless of which worker runs it, and the
+	// order-sensitive Welford accumulation happens single-threaded over the
+	// numbered slots, so the study's statistics are bit-identical for any
+	// worker count — stronger than the old per-worker-accumulator scheme,
+	// which was deterministic only to floating-point merge order.
+	type trialResult struct {
+		eff, failures, rollbacks, ckpts float64
+		makespan                        float64
+		completed                       bool
 	}
-	accs := make([]acc, workers)
+	results := make([]trialResult, spec.Trials)
 
-	// Each worker needs its own executor: strategies carry per-run state.
-	// Worker 0 reuses the caller's executor; the rest get clones.
+	// Each worker needs its own executor: strategies carry per-run state,
+	// and each executor owns a discrete-event simulator whose event pool
+	// stays warm across that worker's trials. Worker 0 reuses the caller's
+	// executor; the rest get clones.
 	execs := make([]resilience.Executor, workers)
 	execs[0] = x
 	for w := 1; w < workers; w++ {
 		execs[w] = x.Clone()
 	}
 
+	// Trials are handed out by an atomic counter: one add per trial
+	// instead of a channel send/recv pair, and no dispatcher goroutine.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(x resilience.Executor) {
 			defer wg.Done()
-			a := &accs[w]
-			for trial := range next {
-				res := execs[w].Run(0, horizon, rng.Stream(spec.Seed, uint64(trial)))
-				a.eff.Add(res.Efficiency())
-				a.failures.Add(float64(res.Failures))
-				a.rollbacks.Add(float64(res.Rollbacks))
-				a.ckpts.Add(float64(res.TotalCheckpoints()))
-				if res.Completed {
-					a.completed++
-					a.makespan.Add(res.Makespan().Minutes())
+			for {
+				trial := next.Add(1) - 1
+				if trial >= int64(spec.Trials) {
+					return
+				}
+				res := x.Run(0, horizon, rng.Stream(spec.Seed, uint64(trial)))
+				results[trial] = trialResult{
+					eff:       res.Efficiency(),
+					failures:  float64(res.Failures),
+					rollbacks: float64(res.Rollbacks),
+					ckpts:     float64(res.TotalCheckpoints()),
+					makespan:  res.Makespan().Minutes(),
+					completed: res.Completed,
 				}
 			}
-		}(w)
+		}(execs[w])
 	}
-	for trial := 0; trial < spec.Trials; trial++ {
-		next <- trial
-	}
-	close(next)
 	wg.Wait()
 
-	var out acc
-	for _, a := range accs {
-		out.eff.Merge(a.eff)
-		out.makespan.Merge(a.makespan)
-		out.failures.Merge(a.failures)
-		out.rollbacks.Merge(a.rollbacks)
-		out.ckpts.Merge(a.ckpts)
-		out.completed += a.completed
+	var out struct {
+		eff, makespan, failures, rollbacks, ckpts stats.Accumulator
+		completed                                 int
+	}
+	for _, r := range results {
+		out.eff.Add(r.eff)
+		out.failures.Add(r.failures)
+		out.rollbacks.Add(r.rollbacks)
+		out.ckpts.Add(r.ckpts)
+		if r.completed {
+			out.completed++
+			out.makespan.Add(r.makespan)
+		}
 	}
 	return TrialStats{
 		Efficiency:     out.eff.Summarize(),

@@ -1,7 +1,6 @@
 package appsim
 
 import (
-	"math"
 	"testing"
 
 	"exaresil/internal/core"
@@ -45,20 +44,23 @@ func TestRunBasicStats(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	// The whole point of numbered substreams: results must not depend on
-	// parallelism.
+	// The whole point of numbered substreams plus slot-ordered
+	// aggregation: results must be bit-identical for any parallelism.
 	base := Run(TrialSpec{Executor: executor(t, core.ParallelRecovery, workload.C64, 6000), Trials: 24, Seed: 7, Workers: 1})
 	para := Run(TrialSpec{Executor: executor(t, core.ParallelRecovery, workload.C64, 6000), Trials: 24, Seed: 7, Workers: 8})
-	if math.Abs(base.Efficiency.Mean-para.Efficiency.Mean) > 1e-12 {
-		t.Errorf("efficiency differs across worker counts: %v vs %v",
-			base.Efficiency.Mean, para.Efficiency.Mean)
+	if base != para {
+		t.Errorf("study differs across worker counts:\n 1 worker: %+v\n 8 workers: %+v", base, para)
 	}
-	if math.Abs(base.Efficiency.StdDev-para.Efficiency.StdDev) > 1e-9 {
-		t.Errorf("stddev differs across worker counts: %v vs %v",
-			base.Efficiency.StdDev, para.Efficiency.StdDev)
-	}
-	if base.Failures.Mean != para.Failures.Mean {
-		t.Error("failure counts differ across worker counts")
+}
+
+func TestRunRepeatedCallsIdentical(t *testing.T) {
+	// Re-running the same spec on the same executor must replay exactly:
+	// executors (and their pooled simulators) are stateless between runs.
+	x := executor(t, core.MultilevelCheckpoint, workload.D64, 12000)
+	a := Run(TrialSpec{Executor: x, Trials: 12, Seed: 11})
+	b := Run(TrialSpec{Executor: x, Trials: 12, Seed: 11})
+	if a != b {
+		t.Errorf("repeated study differs:\n first: %+v\n second: %+v", a, b)
 	}
 }
 

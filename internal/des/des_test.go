@@ -216,9 +216,22 @@ func TestHeapPropertyRandomSchedules(t *testing.T) {
 			}
 		}
 		s.Run()
-		// Order check.
-		for i := 1; i < len(firedOrder); i++ {
-			if firedOrder[i] < firedOrder[i-1] {
+		// Exact-order check: firing order must be the surviving schedule
+		// times stably sorted — (time, seq) order, since insertion order is
+		// seq order. This pins the heap implementation, not just the heap
+		// property.
+		var expect []units.Duration
+		for i, raw := range times {
+			if !(i < len(cancelMask) && cancelMask[i]) {
+				expect = append(expect, units.Duration(raw))
+			}
+		}
+		sort.SliceStable(expect, func(i, j int) bool { return expect[i] < expect[j] })
+		if len(firedOrder) != len(expect) {
+			return false
+		}
+		for i := range expect {
+			if firedOrder[i] != expect[i] {
 				return false
 			}
 		}
@@ -234,6 +247,108 @@ func TestHeapPropertyRandomSchedules(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPooledFiringIdenticalToFresh replays the same schedule on a fresh
+// simulator and on a pooled one reused via Reset, asserting identical
+// firing sequences: pooling must be invisible to deterministic callbacks.
+func TestPooledFiringIdenticalToFresh(t *testing.T) {
+	drive := func(s *Simulator) []units.Duration {
+		var fired []units.Duration
+		for _, at := range []units.Duration{5, 1, 3, 3, 2} {
+			s.Schedule(at, "e", func(sim *Simulator) {
+				fired = append(fired, sim.Now())
+				if sim.Now() == 2 {
+					sim.After(1.5, "chained", func(sim *Simulator) {
+						fired = append(fired, sim.Now())
+					})
+				}
+			})
+		}
+		s.Run()
+		return fired
+	}
+
+	want := drive(New())
+	pooled := NewPooled()
+	for round := 0; round < 3; round++ {
+		pooled.Reset()
+		got := drive(pooled)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: fired %d events, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: firing sequence %v, want %v", round, got, want)
+			}
+		}
+	}
+	if pooled.Recycled() == 0 {
+		t.Error("pooled simulator never recycled an event across Reset rounds")
+	}
+}
+
+// TestPooledCancelRecycles asserts canceled events return to the pool and
+// are reused by later Schedules.
+func TestPooledCancelRecycles(t *testing.T) {
+	s := NewPooled()
+	e := s.Schedule(5, "victim", func(*Simulator) {})
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	reused := s.Schedule(7, "reused", func(*Simulator) {})
+	if reused != e {
+		t.Error("canceled event storage was not recycled by the next Schedule")
+	}
+	if s.Recycled() != 1 {
+		t.Errorf("Recycled() = %d, want 1", s.Recycled())
+	}
+}
+
+// TestResetClearsState asserts Reset produces a clean clock and queue even
+// with events still pending.
+func TestResetClearsState(t *testing.T) {
+	s := NewPooled()
+	s.Schedule(1, "a", func(*Simulator) {})
+	s.Schedule(50, "beyond", func(*Simulator) {})
+	s.RunUntil(10)
+	if s.Now() != 10 || s.Pending() != 1 {
+		t.Fatalf("precondition: now=%v pending=%d", s.Now(), s.Pending())
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Fired() != 0 {
+		t.Errorf("after Reset: now=%v pending=%d fired=%d, want all zero", s.Now(), s.Pending(), s.Fired())
+	}
+	// The undelivered event must be reusable storage, not a lost alloc.
+	if got := s.Schedule(3, "fresh", func(*Simulator) {}); !got.Pending() {
+		t.Error("schedule after Reset not pending")
+	}
+	if s.Recycled() == 0 {
+		t.Error("Reset did not recycle the still-queued event")
+	}
+	s.Run()
+	if s.Now() != 3 {
+		t.Errorf("clock %v after post-Reset run, want 3", s.Now())
+	}
+}
+
+// TestPooledSteadyStateAllocs asserts the free list actually eliminates
+// per-event allocations at steady queue depth.
+func TestPooledSteadyStateAllocs(t *testing.T) {
+	s := NewPooled()
+	// Warm the pool.
+	for i := 0; i < 4; i++ {
+		s.After(1, "warm", func(*Simulator) {})
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.After(1, "bench", func(*Simulator) {})
+		s.Step()
+	})
+	if avg > 0.01 {
+		t.Errorf("pooled schedule/fire allocates %.2f objects per event, want 0", avg)
 	}
 }
 

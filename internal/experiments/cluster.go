@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -92,6 +93,15 @@ func (s ClusterSpec) patterns() []workload.Pattern {
 // (scheduler, chooser) cell over the shared patterns, in parallel across
 // cells and patterns. The chooser map allows Figure 5 to reuse the same
 // machinery with per-application technique selection.
+//
+// Every task writes into its own (combo, pattern) slot and the slots are
+// folded in index order after all workers drain, so the Welford
+// accumulation sees observations in the same order on every run and the
+// figure's numbers are bit-identical regardless of worker count or
+// scheduling. The task channel is fully buffered and closed before the
+// workers start — there is no producer goroutine to strand on an
+// abandoned send — and every worker error is reported, joined, not just
+// the first one observed.
 func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 	pats := s.patterns()
 	model, err := s.model(0)
@@ -99,26 +109,29 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 		return nil, err
 	}
 
-	type task struct {
-		combo, pattern int
-	}
 	type outcome struct {
-		task task
 		pct  float64
 		wait float64
 		err  error
 	}
 
-	tasks := make(chan task)
-	results := make(chan outcome)
-	workers := s.workers()
+	total := len(combos) * s.Patterns
+	tasks := make(chan int, total)
+	for i := 0; i < total; i++ {
+		tasks <- i
+	}
+	close(tasks)
+
+	outs := make([]outcome, total)
+	workers := min(s.workers(), total)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for tk := range tasks {
-				cb := combos[tk.combo]
+			for i := range tasks {
+				cb := combos[i/s.Patterns]
+				pattern := i % s.Patterns
 				spec := cluster.Spec{
 					Machine:    s.Machine,
 					Model:      model,
@@ -126,44 +139,28 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 					Technique:  cb.technique,
 					Chooser:    cb.chooser,
 					Resilience: s.Resilience,
-					Pattern:    pats[tk.pattern],
-					Seed:       s.Seed ^ (uint64(tk.pattern+1) * 0xd1342543de82ef95),
+					Pattern:    pats[pattern],
+					Seed:       s.Seed ^ (uint64(pattern+1) * 0xd1342543de82ef95),
 				}
 				m, err := cluster.Run(spec)
-				results <- outcome{
-					task: tk,
-					pct:  m.DroppedPct(),
-					wait: m.MeanWait.Minutes(),
-					err:  err,
-				}
+				outs[i] = outcome{pct: m.DroppedPct(), wait: m.MeanWait.Minutes(), err: err}
 			}
 		}()
 	}
-	go func() {
-		for ci := range combos {
-			for p := 0; p < s.Patterns; p++ {
-				tasks <- task{ci, p}
-			}
-		}
-		close(tasks)
-		wg.Wait()
-		close(results)
-	}()
+	wg.Wait()
 
 	out := make([]comboResult, len(combos))
-	var firstErr error
-	for oc := range results {
+	var errs []error
+	for i, oc := range outs {
 		if oc.err != nil {
-			if firstErr == nil {
-				firstErr = oc.err
-			}
+			errs = append(errs, oc.err)
 			continue
 		}
-		out[oc.task.combo].dropped.Add(oc.pct)
-		out[oc.task.combo].wait.Add(oc.wait)
+		out[i/s.Patterns].dropped.Add(oc.pct)
+		out[i/s.Patterns].wait.Add(oc.wait)
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

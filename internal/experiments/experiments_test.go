@@ -257,3 +257,29 @@ func TestFigure5Structure(t *testing.T) {
 		}
 	}
 }
+
+func TestFigure4DeterministicAcrossWorkerCounts(t *testing.T) {
+	// runCells folds per-(combo, pattern) slots in index order, so the
+	// study must be bit-identical for any worker count.
+	run := func(workers int) ClusterResult {
+		t.Helper()
+		cfg := fastConfig()
+		cfg.Workers = workers
+		_, res, err := ClusterSpec{Config: cfg, Patterns: 3, Arrivals: 30}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial.Cells) != len(parallel.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial.Cells), len(parallel.Cells))
+	}
+	for i := range serial.Cells {
+		if serial.Cells[i] != parallel.Cells[i] {
+			t.Errorf("cell %d differs:\n 1 worker: %+v\n 8 workers: %+v",
+				i, serial.Cells[i], parallel.Cells[i])
+		}
+	}
+}

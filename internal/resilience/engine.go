@@ -126,6 +126,19 @@ type engine struct {
 
 	ckptRate float64 // compute rate sustained during checkpoints (0 = blocking)
 
+	// Callbacks are bound once per run and shared by every event they
+	// drive; per-event closures were half the allocations of a study.
+	// The state a firing needs (the pending failure, the in-flight
+	// restart's level and cost) lives in the fields below, which is safe
+	// because at most one event of each kind is ever scheduled at a time.
+	cbSegmentEnd    des.Callback
+	cbCheckpointEnd des.Callback
+	cbRestartEnd    des.Callback
+	cbFailure       des.Callback
+	nextFailure     failures.Failure
+	restoreLevel    int            // level of the in-flight restore
+	restartCost     units.Duration // cost of the in-flight restore
+
 	observer Observer
 	res      Result
 	done     bool
@@ -144,14 +157,21 @@ func (e *engine) emit(kind TraceKind, mutate func(*TraceEvent)) {
 }
 
 // runEngine executes one simulation run of strat against a failure model,
-// reporting state transitions to obs when non-nil.
-func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer) Result {
+// reporting state transitions to obs when non-nil. sim may carry a warm
+// event pool from a previous run (the executor reuses one Simulator across
+// a worker's trials); it is Reset here, so any simulator — fresh or used —
+// produces the same run.
+func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator) Result {
 	if horizon <= start {
 		panic(fmt.Sprintf("resilience: horizon %v not after start %v", horizon, start))
 	}
+	if sim == nil {
+		sim = des.NewPooled()
+	}
+	sim.Reset()
 	strat.reset()
 	e := &engine{
-		sim:       des.New(),
+		sim:       sim,
 		strat:     strat,
 		proc:      model.Process(strat.physicalNodes(), src),
 		start:     start,
@@ -161,6 +181,10 @@ func runEngine(strat strategy, model *failures.Model, start, horizon units.Durat
 		ckptRate:  ckptRate,
 		observer:  obs,
 	}
+	e.cbSegmentEnd = func(*des.Simulator) { e.segmentEnd() }
+	e.cbCheckpointEnd = func(*des.Simulator) { e.checkpointEnd() }
+	e.cbRestartEnd = func(*des.Simulator) { e.restartEnd() }
+	e.cbFailure = func(*des.Simulator) { e.handleFailure(e.nextFailure) }
 	e.res = Result{
 		Technique:     strat.technique(),
 		Start:         start,
@@ -193,9 +217,10 @@ func (e *engine) scheduleNextFailure() {
 	if at > e.horizon {
 		return
 	}
-	e.sim.Schedule(at, "failure", func(*des.Simulator) {
-		e.handleFailure(f)
-	})
+	// Only one failure is ever armed (the next one is drawn inside
+	// handleFailure), so the shared callback can read it from the field.
+	e.nextFailure = f
+	e.sim.Schedule(at, "failure", e.cbFailure)
 }
 
 // enterComputing begins (or resumes) a computing segment, scheduling its
@@ -227,9 +252,7 @@ func (e *engine) enterComputing() {
 		}
 	}
 	dist = max(dist, 0)
-	e.pending = e.sim.After(units.Duration(float64(dist)/rate), "segment-end", func(*des.Simulator) {
-		e.segmentEnd()
-	})
+	e.pending = e.sim.After(units.Duration(float64(dist)/rate), "segment-end", e.cbSegmentEnd)
 }
 
 // materialize folds the progress of the current segment into the engine
@@ -288,9 +311,7 @@ func (e *engine) startCheckpoint() {
 	e.segRate = e.ckptRate
 	e.inRework = false
 	e.emit(TraceCheckpointStart, func(ev *TraceEvent) { ev.Level = level })
-	e.pending = e.sim.After(cost, "checkpoint-end", func(*des.Simulator) {
-		e.checkpointEnd()
-	})
+	e.pending = e.sim.After(cost, "checkpoint-end", e.cbCheckpointEnd)
 }
 
 // checkpointEnd commits a completed checkpoint. The committed state is the
@@ -345,13 +366,18 @@ func (e *engine) handleFailure(f failures.Failure) {
 	e.workSinceSync = 0
 	e.phase = phaseRestarting
 	e.phaseStart = e.sim.Now()
-	restoreLevel := resp.restoreLevel
-	restartCost := resp.restartCost
-	e.pending = e.sim.After(restartCost, "restart-end", func(*des.Simulator) {
-		e.res.RestartTime += restartCost
-		e.emit(TraceRestartEnd, func(ev *TraceEvent) { ev.Level = restoreLevel })
-		e.enterComputing()
-	})
+	// At most one restore is in flight; a later failure cancels this event
+	// and overwrites the fields before rescheduling.
+	e.restoreLevel = resp.restoreLevel
+	e.restartCost = resp.restartCost
+	e.pending = e.sim.After(resp.restartCost, "restart-end", e.cbRestartEnd)
+}
+
+// restartEnd fires when a restore completes and computation resumes.
+func (e *engine) restartEnd() {
+	e.res.RestartTime += e.restartCost
+	e.emit(TraceRestartEnd, func(ev *TraceEvent) { ev.Level = e.restoreLevel })
+	e.enterComputing()
 }
 
 // clampLevel maps a checkpoint level into the Result's histogram index.

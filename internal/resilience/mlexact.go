@@ -149,21 +149,30 @@ func (m MultilevelSchedule) ExactStretch(costs Costs, rates [3]units.Rate) float
 // (interval x {1/2..2}, pattern counts +-2) and keeps the best. Results
 // are memoized alongside the first-order cache.
 func OptimizeMultilevelExact(costs Costs, rates [3]units.Rate, bounds MultilevelConfig) (MultilevelSchedule, error) {
-	key := optCacheKey{costs: costs, rates: rates, bounds: bounds}
+	if bounds.DisableCache {
+		return optimizeMultilevelExact(costs, rates, bounds)
+	}
+	key := cacheKey(costs, rates, bounds)
 	key.bounds.IntervalSteps = -key.bounds.IntervalSteps // separate cache namespace
 	if v, ok := optCache.Load(key); ok {
+		optCacheHits.Add(1)
 		e := v.(optCacheEntry)
 		return e.sched, e.err
 	}
+	optCacheMisses.Add(1)
+	sched, err := optimizeMultilevelExact(costs, rates, bounds)
+	optCache.Store(key, optCacheEntry{sched, err})
+	return sched, err
+}
 
+// optimizeMultilevelExact is the uncached exact refinement.
+func optimizeMultilevelExact(costs Costs, rates [3]units.Rate, bounds MultilevelConfig) (MultilevelSchedule, error) {
 	first, err := OptimizeMultilevel(costs, rates, bounds)
 	if err != nil {
-		optCache.Store(key, optCacheEntry{first, err})
 		return first, err
 	}
 	if math.IsInf(float64(first.Interval), 1) {
 		// No failures: nothing to refine.
-		optCache.Store(key, optCacheEntry{first, nil})
 		return first, nil
 	}
 
@@ -190,7 +199,6 @@ func OptimizeMultilevelExact(costs Costs, rates [3]units.Rate, bounds Multilevel
 	if math.IsInf(bestVal, 1) {
 		err = errInfeasibleExact
 	}
-	optCache.Store(key, optCacheEntry{best, err})
 	return best, err
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"exaresil/internal/units"
 )
@@ -51,6 +52,12 @@ type MultilevelConfig struct {
 	// UseExact refines the first-order grid winner with the exact
 	// Markov-chain evaluation (OptimizeMultilevelExact).
 	UseExact bool
+	// DisableCache bypasses the schedule memoization cache, forcing every
+	// optimizer call to re-run the full search. The cluster studies
+	// construct an executor per mapped job, so caching is on by default;
+	// disable it only to measure the raw search or to bound memory in
+	// long-lived services sweeping unbounded parameter spaces.
+	DisableCache bool
 }
 
 // DefaultMultilevelConfig returns search bounds ample for every
@@ -112,8 +119,9 @@ func (m MultilevelSchedule) ExpectedStretch(costs Costs, rates [3]units.Rate) fl
 	return overhead / (1 - lossRate)
 }
 
-// optCacheKey memoizes optimizer calls: cluster studies construct many
-// executors sharing (costs, rates, bounds).
+// optCacheKey memoizes optimizer calls on the full parameter tuple:
+// cluster studies construct an executor per mapped job, so thousands of
+// constructions share the same (costs, rates, bounds) optimization.
 type optCacheKey struct {
 	costs  Costs
 	rates  [3]units.Rate
@@ -125,22 +133,63 @@ type optCacheEntry struct {
 	err   error
 }
 
-var optCache sync.Map // optCacheKey -> optCacheEntry
+// optCache is the process-wide schedule memoization table. Entries are
+// immutable once stored, and both racing writers compute identical values
+// from the same key, so sync.Map's last-writer-wins is harmless. The
+// companion counters make the cache observable: a study that should be
+// hitting but isn't shows up immediately in ScheduleCacheStats.
+var (
+	optCache       sync.Map // optCacheKey -> optCacheEntry
+	optCacheHits   atomic.Uint64
+	optCacheMisses atomic.Uint64
+)
+
+// cacheKey canonicalizes the bounds so toggling the cache knob itself
+// never splits otherwise-identical entries.
+func cacheKey(costs Costs, rates [3]units.Rate, bounds MultilevelConfig) optCacheKey {
+	bounds.DisableCache = false
+	return optCacheKey{costs: costs, rates: rates, bounds: bounds}
+}
+
+// ScheduleCacheStats reports how many optimizer calls were served from the
+// memoization cache versus computed. Counters are cumulative across the
+// process; FlushScheduleCache resets them.
+func ScheduleCacheStats() (hits, misses uint64) {
+	return optCacheHits.Load(), optCacheMisses.Load()
+}
+
+// FlushScheduleCache empties the schedule memoization cache and zeroes its
+// hit/miss counters. Benchmarks use it to measure cold-start cost; tests
+// use it to isolate cache behaviour.
+func FlushScheduleCache() {
+	optCache.Clear()
+	optCacheHits.Store(0)
+	optCacheMisses.Store(0)
+}
 
 // OptimizeMultilevel searches for the schedule minimizing ExpectedStretch.
 // The base interval is scanned on a logarithmic grid spanning two orders
 // of magnitude around the Daly period for the cheapest level and the total
 // failure rate; pattern counts are scanned exhaustively within the bounds.
 // It returns an error when no schedule in the search space is feasible.
+//
+// Results are memoized on the full (costs, rates, bounds) tuple unless
+// bounds.DisableCache is set; cached and uncached calls return identical
+// schedules because the search is deterministic.
 func OptimizeMultilevel(costs Costs, rates [3]units.Rate, bounds MultilevelConfig) (MultilevelSchedule, error) {
 	if err := bounds.Validate(); err != nil {
 		return MultilevelSchedule{}, err
 	}
-	key := optCacheKey{costs: costs, rates: rates, bounds: bounds}
+	if bounds.DisableCache {
+		return optimizeMultilevel(costs, rates, bounds)
+	}
+	key := cacheKey(costs, rates, bounds)
 	if v, ok := optCache.Load(key); ok {
+		optCacheHits.Add(1)
 		e := v.(optCacheEntry)
 		return e.sched, e.err
 	}
+	optCacheMisses.Add(1)
 	sched, err := optimizeMultilevel(costs, rates, bounds)
 	optCache.Store(key, optCacheEntry{sched, err})
 	return sched, err

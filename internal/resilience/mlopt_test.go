@@ -117,6 +117,83 @@ func TestOptimizeCacheConsistency(t *testing.T) {
 	}
 }
 
+// TestOptimizeCachedMatchesUncached asserts the memoization layer is
+// semantically invisible: for the same parameter tuple, a cache hit, a
+// cache miss, and a DisableCache call all return the identical schedule.
+func TestOptimizeCachedMatchesUncached(t *testing.T) {
+	cfg := machine.Exascale()
+	bounds := DefaultMultilevelConfig()
+	uncached := bounds
+	uncached.DisableCache = true
+	for _, nodes := range []int{1200, 30000, 120000} {
+		costs := ComputeCosts(testApp(workload.D64, nodes), cfg)
+		rates := exaRates(nodes, cfg.MTBF)
+		miss, err1 := OptimizeMultilevel(costs, rates, bounds)
+		hit, err2 := OptimizeMultilevel(costs, rates, bounds)
+		raw, err3 := OptimizeMultilevel(costs, rates, uncached)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("nodes=%d: optimizer errors: %v, %v, %v", nodes, err1, err2, err3)
+		}
+		if miss != hit || hit != raw {
+			t.Errorf("nodes=%d: schedules diverge: miss=%v hit=%v uncached=%v", nodes, miss, hit, raw)
+		}
+	}
+}
+
+// TestExactCachedMatchesUncached is the same invariant for the exact
+// Markov refinement path.
+func TestExactCachedMatchesUncached(t *testing.T) {
+	cfg := machine.Exascale()
+	bounds := DefaultMultilevelConfig()
+	bounds.UseExact = true
+	uncached := bounds
+	uncached.DisableCache = true
+	costs := ComputeCosts(testApp(workload.C64, 30000), cfg)
+	rates := exaRates(30000, cfg.MTBF)
+	cached, err1 := OptimizeMultilevelExact(costs, rates, bounds)
+	again, err2 := OptimizeMultilevelExact(costs, rates, bounds)
+	raw, err3 := OptimizeMultilevelExact(costs, rates, uncached)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatalf("optimizer errors: %v, %v, %v", err1, err2, err3)
+	}
+	if cached != again || again != raw {
+		t.Errorf("exact schedules diverge: %v / %v / %v", cached, again, raw)
+	}
+}
+
+// TestScheduleCacheCounters asserts hits and misses are observable and
+// that DisableCache leaves the counters untouched.
+func TestScheduleCacheCounters(t *testing.T) {
+	FlushScheduleCache()
+	defer FlushScheduleCache()
+	cfg := machine.Exascale()
+	costs := ComputeCosts(testApp(workload.B32, 6000), cfg)
+	rates := exaRates(6000, cfg.MTBF)
+	bounds := DefaultMultilevelConfig()
+
+	if _, err := OptimizeMultilevel(costs, rates, bounds); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := ScheduleCacheStats(); hits != 0 || misses != 1 {
+		t.Errorf("after cold call: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if _, err := OptimizeMultilevel(costs, rates, bounds); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := ScheduleCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("after warm call: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	off := bounds
+	off.DisableCache = true
+	if _, err := OptimizeMultilevel(costs, rates, off); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := ScheduleCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("DisableCache call moved the counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
 func TestExpectedStretchProperties(t *testing.T) {
 	costs := Costs{L1: units.Duration(0.0033), L2: units.Duration(0.0133), PFS: 17 * units.Minute}
 	rates := exaRates(30000, 10*units.Year)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exaresil/internal/core"
+	"exaresil/internal/des"
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
 	"exaresil/internal/rng"
@@ -79,6 +80,12 @@ type executor struct {
 	reason   string
 	ckptRate float64
 	observer Observer
+
+	// sim is the executor's private discrete-event simulator, created on
+	// first Run and reused (with its warm event pool) across sequential
+	// runs. Executors are single-goroutine by contract, and Clone gives
+	// each parallel worker its own executor — and thus its own simulator.
+	sim *des.Simulator
 }
 
 // Technique implements Executor.
@@ -117,7 +124,10 @@ func (x *executor) Run(start, horizon units.Duration, src *rng.Source) Result {
 			EffectiveWork: x.strat.effectiveWork(),
 		}
 	}
-	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer)
+	if x.sim == nil {
+		x.sim = des.NewPooled()
+	}
+	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.sim)
 }
 
 // New constructs the executor for technique t running app on the machine

@@ -10,9 +10,13 @@
 package selection
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"exaresil/internal/appsim"
 	"exaresil/internal/core"
@@ -40,6 +44,11 @@ type Options struct {
 	HorizonFactor float64
 	// Seed drives the probes.
 	Seed uint64
+	// Workers bounds the goroutines probing grid cells concurrently
+	// (default GOMAXPROCS). Every cell derives its probe seeds from its
+	// position in the grid, not from completion order, so the resulting
+	// table is identical for every worker count — including 1.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -89,8 +98,11 @@ type Selector struct {
 
 // NewSelector builds a selector for the given machine and failure model by
 // probing the technique/size grid. Construction cost is that of
-// (classes x fractions x techniques x trials) short simulations; the
-// resulting Selector is immutable and safe for concurrent use.
+// (classes x fractions x techniques x trials) short simulations, fanned
+// out across Options.Workers goroutines — one cell per task, with each
+// cell's probe seeds fixed by its grid position so the table is
+// bit-identical to a serial build. The resulting Selector is immutable and
+// safe for concurrent use.
 func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config, opts Options) (*Selector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -117,40 +129,97 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 	}
 	sort.Float64s(s.fractions)
 
-	probe := uint64(0)
+	// Flatten the (class x fraction) grid; cell i's probes are numbered
+	// i*len(techniques) .. i*len(techniques)+len(techniques)-1, matching
+	// the counter a serial class-major walk would have used.
+	type gridCell struct {
+		class workload.Class
+		frac  float64
+	}
+	var cells []gridCell
 	for _, class := range workload.Classes() {
 		for _, frac := range s.fractions {
-			app := workload.App{
-				ID:        0,
-				Class:     class,
-				TimeSteps: opts.TimeSteps,
-				Nodes:     cfg.NodesForFraction(frac),
-			}
-			choice := Choice{Class: class, Fraction: frac, Best: opts.Techniques[0]}
-			bestEff := math.Inf(-1)
-			for _, tech := range opts.Techniques {
-				x, err := resilience.New(tech, app, cfg, model, rc)
-				if err != nil {
-					return nil, fmt.Errorf("selection: probing %v on %s@%.0f%%: %w",
-						tech, class.Name, 100*frac, err)
-				}
-				st := appsim.Run(appsim.TrialSpec{
-					Executor:      x,
-					Trials:        opts.Trials,
-					Seed:          opts.Seed ^ (probe * 0x9e3779b97f4a7c15),
-					HorizonFactor: opts.HorizonFactor,
-				})
-				probe++
-				choice.Efficiency = append(choice.Efficiency, st.Efficiency.Mean)
-				if st.Efficiency.Mean > bestEff {
-					bestEff = st.Efficiency.Mean
-					choice.Best = tech
-				}
-			}
-			s.table[cell{class.Name, frac}] = choice
+			cells = append(cells, gridCell{class, frac})
 		}
 	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// With more than one cell in flight the per-cell Monte-Carlo probes
+	// run single-threaded: the parallelism budget is spent on cells, not
+	// on nested worker pools. Either split gives the same table bits.
+	innerWorkers := 0
+	if workers > 1 {
+		innerWorkers = 1
+	}
+
+	choices := make([]Choice, len(cells))
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(cells) {
+					return
+				}
+				choices[i], errs[i] = probeCell(cfg, model, rc, opts, cells[i].class, cells[i].frac,
+					uint64(i)*uint64(len(opts.Techniques)), innerWorkers)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		s.table[cell{c.class.Name, c.frac}] = choices[i]
+	}
 	return s, nil
+}
+
+// probeCell evaluates every candidate technique on one (class, fraction)
+// grid cell. probeBase numbers the cell's first probe; the k-th candidate
+// uses probe number probeBase+k, so seeds depend only on grid position.
+func probeCell(cfg machine.Config, model *failures.Model, rc resilience.Config, opts Options,
+	class workload.Class, frac float64, probeBase uint64, workers int) (Choice, error) {
+	app := workload.App{
+		ID:        0,
+		Class:     class,
+		TimeSteps: opts.TimeSteps,
+		Nodes:     cfg.NodesForFraction(frac),
+	}
+	choice := Choice{Class: class, Fraction: frac, Best: opts.Techniques[0]}
+	bestEff := math.Inf(-1)
+	for ti, tech := range opts.Techniques {
+		x, err := resilience.New(tech, app, cfg, model, rc)
+		if err != nil {
+			return Choice{}, fmt.Errorf("selection: probing %v on %s@%.0f%%: %w",
+				tech, class.Name, 100*frac, err)
+		}
+		st := appsim.Run(appsim.TrialSpec{
+			Executor:      x,
+			Trials:        opts.Trials,
+			Seed:          opts.Seed ^ ((probeBase + uint64(ti)) * 0x9e3779b97f4a7c15),
+			HorizonFactor: opts.HorizonFactor,
+			Workers:       workers,
+		})
+		choice.Efficiency = append(choice.Efficiency, st.Efficiency.Mean)
+		if st.Efficiency.Mean > bestEff {
+			bestEff = st.Efficiency.Mean
+			choice.Best = tech
+		}
+	}
+	return choice, nil
 }
 
 // Techniques reports the candidate set the selector was built over.

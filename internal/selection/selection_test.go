@@ -152,3 +152,44 @@ func TestSelectorDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelConstructionMatchesSerial asserts the fanned-out grid probe
+// is bit-identical to a one-worker build: same winners AND same mean
+// efficiencies in every cell, because probe seeds derive from grid
+// position, not completion order.
+func TestParallelConstructionMatchesSerial(t *testing.T) {
+	build := func(workers int) *Selector {
+		t.Helper()
+		cfg := machine.Exascale()
+		model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+		s, err := NewSelector(cfg, model, resilience.DefaultConfig(), Options{
+			Trials:        4,
+			TimeSteps:     360,
+			SizeFractions: []float64{0.01, 0.25},
+			Seed:          42,
+			Workers:       workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := build(1)
+	parallel := build(8)
+	cs, cp := serial.Choices(), parallel.Choices()
+	if len(cs) != len(cp) {
+		t.Fatalf("table sizes differ: %d vs %d", len(cs), len(cp))
+	}
+	for i := range cs {
+		if cs[i].Best != cp[i].Best || cs[i].Class.Name != cp[i].Class.Name || cs[i].Fraction != cp[i].Fraction {
+			t.Errorf("cell %d: serial %+v vs parallel %+v", i, cs[i], cp[i])
+			continue
+		}
+		for j := range cs[i].Efficiency {
+			if cs[i].Efficiency[j] != cp[i].Efficiency[j] {
+				t.Errorf("cell %s@%g%% candidate %d: efficiency %v (serial) != %v (parallel)",
+					cs[i].Class.Name, 100*cs[i].Fraction, j, cs[i].Efficiency[j], cp[i].Efficiency[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — the repository's performance gate.
+#
+# Runs, in order:
+#   1. go vet over every package
+#   2. the tier-1 verification (build + full test suite)
+#   3. the race detector over the concurrency-bearing packages
+#   4. cmd/exabench, writing BENCH_results.json at the repo root
+#
+# Usage: scripts/bench.sh [exabench flags...]
+# e.g.:  scripts/bench.sh -run fig4
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== tier-1: go build ./... && go test ./..."
+go build ./...
+go test ./...
+
+echo "== race detector on concurrency-bearing packages"
+go test -race -count=1 \
+    ./internal/des/ \
+    ./internal/resilience/ \
+    ./internal/appsim/ \
+    ./internal/selection/ \
+    ./internal/experiments/ \
+    ./internal/cluster/
+
+echo "== exabench -> BENCH_results.json"
+go run ./cmd/exabench -out BENCH_results.json "$@"
