@@ -124,8 +124,14 @@ func exactPeriodicEfficiency(stretch float64, checkpoint, restart units.Duration
 	return clamp01(tau.Minutes() / (stretch * expected))
 }
 
-// multilevelEfficiency reuses the schedule optimizer's expected-stretch
-// objective: the optimizer already embodies the first-order Markov model.
+// multilevelEfficiency predicts the schedule the simulator actually runs —
+// the first-order optimizer's winner — but scores it with the exact
+// Markov-chain stretch. The first-order objective is fine for ranking
+// candidate schedules, yet as a prediction it understates failure cost
+// once lambda*(tau+C) is no longer small (the same regime that pushed
+// Checkpoint Restart onto exactPeriodicEfficiency): at exascale with a
+// 2.5-year component MTBF it overstates multilevel efficiency by roughly
+// two-fold against the simulator.
 func multilevelEfficiency(app workload.App, costs resilience.Costs, model *failures.Model, opts resilience.Config) (float64, error) {
 	rates := severityRates(model, app.Nodes)
 	sched, err := resilience.OptimizeMultilevel(costs, rates, opts.Multilevel)
@@ -133,7 +139,7 @@ func multilevelEfficiency(app workload.App, costs resilience.Costs, model *failu
 		// No feasible schedule: the technique cannot make progress.
 		return 0, nil
 	}
-	stretch := sched.ExpectedStretch(costs, rates)
+	stretch := sched.ExactStretch(costs, rates)
 	if math.IsInf(stretch, 1) || stretch <= 0 {
 		return 0, nil
 	}

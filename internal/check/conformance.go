@@ -1,0 +1,366 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"exaresil/internal/analytic"
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/rng"
+	"exaresil/internal/stats"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// Tolerance bounds the allowed divergence between the analytic prediction
+// and the Monte-Carlo mean of one sweep cell.
+type Tolerance struct {
+	// AbsEff is the absolute efficiency slack. The analytic models are
+	// first-order in the failure rate, so they drift from the simulator as
+	// lambda*(tau+C) grows; the in-package agreement tests use 0.02-0.10
+	// across the same regimes.
+	AbsEff float64
+	// CIMult widens the band by this many 95% confidence half-widths of
+	// the simulated mean, so small-trial sweeps do not flag sampling noise.
+	CIMult float64
+	// Collapse is the efficiency below which a cell counts as collapsed.
+	// In collapse regimes the first-order models clamp to zero while the
+	// simulator reports a small positive residual (or vice versa); two
+	// collapsed verdicts agree even when their values differ.
+	Collapse float64
+}
+
+// DefaultTolerance matches the calibration of the analytic package's
+// agreement tests, widened for the harsher corners this sweep visits.
+func DefaultTolerance() Tolerance {
+	return Tolerance{AbsEff: 0.10, CIMult: 3, Collapse: 0.12}
+}
+
+// Sweep configures a conformance sweep over the parameter grid
+// (checkpoint costs x failure rates x node counts x techniques).
+// Checkpoint costs enter through the application class (memory per node
+// sets every level's cost), failure rates through the component MTBF.
+type Sweep struct {
+	// Machine is the platform (default: the paper's exascale machine).
+	Machine machine.Config
+	// PMF is the failure-severity distribution.
+	PMF failures.SeverityPMF
+	// Resilience carries the technique parameters.
+	Resilience resilience.Config
+	// MTBFs is the failure-rate axis (default 10y and 2.5y, the paper's
+	// baseline and sensitivity values).
+	MTBFs []units.Duration
+	// Classes is the checkpoint-cost axis (default A32 and D64, the
+	// extremes of Table I).
+	Classes []workload.Class
+	// Fractions is the node-count axis, as machine fractions.
+	Fractions []float64
+	// Techniques defaults to all five.
+	Techniques []core.Technique
+	// TimeSteps is T_S per application (default 1440).
+	TimeSteps int
+	// Trials is the Monte-Carlo repetition count per cell (default 30).
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Tol bounds sim-vs-analytic divergence.
+	Tol Tolerance
+	// Workers bounds cell-level parallelism (default: serial execution;
+	// cells are deterministic either way).
+	Workers int
+}
+
+// DefaultSweep is the grid exacheck runs: 2 MTBFs x 2 classes x 4 sizes x
+// 5 techniques = 80 cells.
+func DefaultSweep() Sweep {
+	return Sweep{
+		Machine:    machine.Exascale(),
+		PMF:        failures.DefaultSeverityPMF(),
+		Resilience: resilience.DefaultConfig(),
+		MTBFs:      []units.Duration{10 * units.Year, units.Duration(2.5) * units.Year},
+		Classes:    []workload.Class{workload.A32, workload.D64},
+		Fractions:  []float64{0.01, 0.10, 0.50, 1.00},
+		Techniques: core.Techniques(),
+		TimeSteps:  1440,
+		Trials:     30,
+		Seed:       20170529,
+		Tol:        DefaultTolerance(),
+	}
+}
+
+// Cell is one grid point's verdict.
+type Cell struct {
+	Technique core.Technique
+	Class     string
+	Fraction  float64
+	Nodes     int
+	MTBF      units.Duration
+	// Viable reports whether the executor could run at all.
+	Viable bool
+	// Analytic is the closed-form expected efficiency; Sim summarizes the
+	// Monte-Carlo efficiencies.
+	Analytic float64
+	Sim      stats.Summary
+	// OK is the conformance verdict; Detail explains a failure.
+	OK     bool
+	Detail string
+}
+
+// Label renders the cell's coordinates for reports and violations.
+func (c Cell) Label() string {
+	return fmt.Sprintf("%v/%s/%dn/%s", c.Technique, c.Class, c.Nodes, c.MTBF)
+}
+
+// Report aggregates a full audit: the conformance cells, every runtime
+// invariant violation observed in their traces, and the metamorphic
+// failures.
+type Report struct {
+	Cells       []Cell
+	Violations  []Violation
+	Metamorphic []string
+}
+
+// ConformanceFailures counts cells whose sim-vs-analytic comparison failed.
+func (r *Report) ConformanceFailures() int {
+	n := 0
+	for _, c := range r.Cells {
+		if !c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports a clean audit.
+func (r *Report) OK() bool {
+	return r.ConformanceFailures() == 0 && len(r.Violations) == 0 && len(r.Metamorphic) == 0
+}
+
+// Write renders the report.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "conformance: %d cells, %d failures\n", len(r.Cells), r.ConformanceFailures())
+	for _, c := range r.Cells {
+		status := "ok"
+		if !c.OK {
+			status = "FAIL " + c.Detail
+		}
+		viable := ""
+		if !c.Viable {
+			viable = " (not viable)"
+		}
+		fmt.Fprintf(w, "  %-40s analytic %.4f  sim %.4f ±%.4f%s  %s\n",
+			c.Label(), c.Analytic, c.Sim.Mean, c.Sim.CI95, viable, status)
+	}
+	fmt.Fprintf(w, "invariants: %d violations\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	fmt.Fprintf(w, "metamorphic: %d failures\n", len(r.Metamorphic))
+	for _, m := range r.Metamorphic {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+func (s Sweep) withDefaults() Sweep {
+	d := DefaultSweep()
+	if s.Machine.Name == "" {
+		s.Machine = d.Machine
+	}
+	if s.PMF == (failures.SeverityPMF{}) {
+		s.PMF = d.PMF
+	}
+	if s.Resilience == (resilience.Config{}) {
+		s.Resilience = d.Resilience
+	}
+	if s.MTBFs == nil {
+		s.MTBFs = d.MTBFs
+	}
+	if s.Classes == nil {
+		s.Classes = d.Classes
+	}
+	if s.Fractions == nil {
+		s.Fractions = d.Fractions
+	}
+	if s.Techniques == nil {
+		s.Techniques = d.Techniques
+	}
+	if s.TimeSteps == 0 {
+		s.TimeSteps = d.TimeSteps
+	}
+	if s.Trials == 0 {
+		s.Trials = d.Trials
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	if s.Tol == (Tolerance{}) {
+		s.Tol = d.Tol
+	}
+	return s
+}
+
+// cellSpec is one grid point before evaluation.
+type cellSpec struct {
+	tech  core.Technique
+	class workload.Class
+	frac  float64
+	mtbf  units.Duration
+}
+
+// Run executes the sweep. Cells are evaluated independently (in parallel
+// when Workers > 1) but each cell's trials run sequentially on one checked
+// executor, so the report is deterministic for a given spec.
+func (s Sweep) Run() (*Report, error) {
+	s = s.withDefaults()
+	if err := s.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Resilience.Validate(); err != nil {
+		return nil, err
+	}
+
+	var specs []cellSpec
+	for _, mtbf := range s.MTBFs {
+		for _, class := range s.Classes {
+			for _, frac := range s.Fractions {
+				for _, tech := range s.Techniques {
+					specs = append(specs, cellSpec{tech: tech, class: class, frac: frac, mtbf: mtbf})
+				}
+			}
+		}
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	cells := make([]Cell, len(specs))
+	violations := make([][]Violation, len(specs))
+	errs := make([]error, len(specs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(specs)) {
+					return
+				}
+				cells[i], violations[i], errs[i] = s.runCell(specs[i], uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Cells: cells}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("check: cell %s: %w", cells[i].Label(), err)
+		}
+		rep.Violations = append(rep.Violations, violations[i]...)
+	}
+	rep.Metamorphic = s.metamorphic()
+	return rep, nil
+}
+
+// runCell evaluates one grid point: Trials checked simulation runs and the
+// analytic prediction.
+func (s Sweep) runCell(spec cellSpec, index uint64) (Cell, []Violation, error) {
+	cfg := s.Machine.WithMTBF(spec.mtbf)
+	model, err := failures.NewModel(spec.mtbf, s.PMF)
+	if err != nil {
+		return Cell{}, nil, err
+	}
+	app := workload.App{
+		Class:     spec.class,
+		TimeSteps: s.TimeSteps,
+		Nodes:     cfg.NodesForFraction(spec.frac),
+	}
+	cell := Cell{
+		Technique: spec.tech,
+		Class:     spec.class.Name,
+		Fraction:  spec.frac,
+		Nodes:     app.Nodes,
+		MTBF:      spec.mtbf,
+	}
+
+	cell.Analytic, err = analytic.Efficiency(spec.tech, app, cfg, model, s.Resilience)
+	if err != nil {
+		return cell, nil, err
+	}
+
+	x, err := resilience.New(spec.tech, app, cfg, model, s.Resilience)
+	if err != nil {
+		return cell, nil, err
+	}
+	cell.Viable, _ = x.Viable()
+
+	checker := NewChecker(x)
+	resilience.Observe(x, checker.Observe)
+	horizon := units.Duration(float64(app.Baseline()) * 100)
+	var eff stats.Accumulator
+	for trial := 0; trial < s.Trials; trial++ {
+		checker.BeginRun(fmt.Sprintf("%s trial %d", cell.Label(), trial))
+		res := x.Run(0, horizon, rng.Stream(s.Seed^(index*0x9e3779b97f4a7c15), uint64(trial)))
+		checker.FinishRun(res)
+		eff.Add(res.Efficiency())
+	}
+	cell.Sim = eff.Summarize()
+
+	cell.OK, cell.Detail = s.verdict(cell)
+	return cell, checker.Violations(), nil
+}
+
+// verdict compares the analytic prediction against the simulated mean.
+func (s Sweep) verdict(c Cell) (bool, string) {
+	if !c.Viable {
+		// A non-viable executor scores zero identically; the analytic model
+		// must agree that the regime collapsed.
+		if c.Analytic <= s.Tol.Collapse {
+			return true, ""
+		}
+		return false, fmt.Sprintf("analytic %.4f for a non-viable cell", c.Analytic)
+	}
+	band := s.Tol.AbsEff + s.Tol.CIMult*c.Sim.CI95
+	if diff := math.Abs(c.Analytic - c.Sim.Mean); diff <= band {
+		return true, ""
+	}
+	if c.Analytic <= s.Tol.Collapse && c.Sim.Mean <= s.Tol.Collapse {
+		// Both sides call the regime collapsed; their residuals differ only
+		// in how fast they approach zero.
+		return true, ""
+	}
+	return false, fmt.Sprintf("analytic %.4f vs sim %.4f exceeds band %.4f",
+		c.Analytic, c.Sim.Mean, s.Tol.AbsEff+s.Tol.CIMult*c.Sim.CI95)
+}
+
+// SortCells orders the report's cells for stable rendering (parallel
+// evaluation preserves index order already; this is for merged reports).
+func SortCells(cells []Cell) {
+	sort.SliceStable(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.MTBF != b.MTBF {
+			return a.MTBF > b.MTBF
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Fraction != b.Fraction {
+			return a.Fraction < b.Fraction
+		}
+		return a.Technique < b.Technique
+	})
+}

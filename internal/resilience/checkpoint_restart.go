@@ -18,6 +18,7 @@ type checkpointRestart struct {
 	costs       Costs
 	tau         units.Duration
 	saved       units.Duration
+	has         bool
 }
 
 // newCheckpointRestart builds the Checkpoint Restart executor.
@@ -50,22 +51,30 @@ func (s *checkpointRestart) nextCheckpoint() (int, units.Duration) { return 3, s
 
 func (s *checkpointRestart) onCheckpointDone(_ int, progress units.Duration) {
 	s.saved = progress
+	s.has = true
 }
 
 // onFailure: any failure, of any severity, forces a restore from the last
-// PFS checkpoint; restart time is symmetric with checkpoint time.
+// PFS checkpoint; restart time is symmetric with checkpoint time. Before
+// the first checkpoint commits the restart is a from-scratch relaunch: it
+// reads no checkpoint, so its trace level is 0, not 3 — though the
+// relaunch still pays the full PFS restore time.
 func (s *checkpointRestart) onFailure(failures.Failure, units.Duration) response {
+	level := 0
+	if s.has {
+		level = 3
+	}
 	return response{
 		rollback:     true,
 		restoreTo:    s.saved,
-		restoreLevel: 3,
+		restoreLevel: level,
 		restartCost:  s.costs.PFS,
 	}
 }
 
 func (s *checkpointRestart) recoverySpeed() float64 { return 1 }
 
-func (s *checkpointRestart) reset() { s.saved = 0 }
+func (s *checkpointRestart) reset() { s.saved, s.has = 0, false }
 
 func (s *checkpointRestart) clone() strategy {
 	dup := *s

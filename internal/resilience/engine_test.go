@@ -477,6 +477,58 @@ func TestIdealExecutor(t *testing.T) {
 	}
 }
 
+func TestPooledReuseMatchesFreshAcrossTechniques(t *testing.T) {
+	// PR 1 made executors reuse one pooled simulator across sequential
+	// runs, which means a second run executes on a warm event pool and a
+	// strategy that has already been through failures. If any technique's
+	// reset() (sequential reuse) or clone() (parallel fan-out) leaks state
+	// — a multilevel counter or surviving checkpoint, a redundancy replica
+	// failure mark — a reused executor silently inherits checkpoints from
+	// a previous trial. Run every technique at a failure-heavy operating
+	// point and require bit-identical results from (a) a fresh executor,
+	// (b) an executor dirtied by two prior runs (reset path), and (c) a
+	// clone taken from a dirtied executor (clone path).
+	cfg := machine.Exascale().WithMTBF(units.Duration(2.5) * units.Year)
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 12000)
+	const refSeed, dirtySeed = 101, 202
+
+	for _, tech := range core.Techniques() {
+		x := mustExecutor(t, tech, app, cfg, model)
+		if ok, _ := x.Viable(); !ok {
+			t.Fatalf("%v not viable at the test operating point", tech)
+		}
+		want := run(t, x.Clone(), refSeed) // fresh executor, first run ever
+
+		// Reset path: two dirtying runs, then the reference seed.
+		dirty := mustExecutor(t, tech, app, cfg, model)
+		d1 := run(t, dirty, dirtySeed)
+		run(t, dirty, dirtySeed+1)
+		if d1.Failures == 0 {
+			t.Errorf("%v: dirtying run saw no failures; test exercises nothing", tech)
+		}
+		switch tech {
+		case core.PartialRedundancy, core.FullRedundancy:
+			// Replica failure marks are dirtied by every failure; rollbacks
+			// are intentionally rare here.
+		default:
+			if d1.Rollbacks == 0 {
+				t.Errorf("%v: dirtying run saw no rollbacks; test exercises nothing", tech)
+			}
+		}
+		if got := run(t, dirty, refSeed); got != want {
+			t.Errorf("%v: reused executor diverged from fresh after reset:\n fresh: %+v\n reused: %+v",
+				tech, want, got)
+		}
+
+		// Clone path: clone a dirtied executor mid-history.
+		if got := run(t, dirty.Clone(), refSeed); got != want {
+			t.Errorf("%v: clone of a dirty executor diverged from fresh:\n fresh: %+v\n clone: %+v",
+				tech, want, got)
+		}
+	}
+}
+
 func TestClonedExecutorsMatch(t *testing.T) {
 	cfg := machine.Exascale()
 	model := defaultModel(cfg)

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"exaresil/internal/units"
+)
+
+// FuzzOptimizeMultilevel throws arbitrary (costs, rates, bounds) tuples at
+// the schedule search and checks its contract: no panic, the winner lies
+// inside the requested bounds with a finite stretch >= 1, the failure-free
+// degenerate case never checkpoints, and the memoized path returns exactly
+// what the raw search returns.
+func FuzzOptimizeMultilevel(f *testing.F) {
+	f.Add(1.0, 3.0, 10.0, 1e-3, 1e-4, 1e-5, uint8(4), uint8(4), uint8(9))
+	f.Add(0.1, 0.1, 0.1, 0.0, 0.0, 0.0, uint8(1), uint8(1), uint8(2))
+	f.Add(5.0, 5.0, 500.0, 0.01, 0.01, 0.01, uint8(8), uint8(8), uint8(17))
+	f.Add(30.0, 30.0, 30.0, 0.9, 0.9, 0.9, uint8(3), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, l1, l2, pfs, r1, r2, r3 float64, n1cap, n2cap, steps uint8) {
+		for _, v := range []float64{l1, l2, pfs, r1, r2, r3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite input")
+			}
+		}
+		if l1 <= 0 || l2 <= 0 || pfs <= 0 || l1 > 1e6 || l2 > 1e6 || pfs > 1e6 {
+			t.Skip("cost outside the meaningful range")
+		}
+		if r1 < 0 || r2 < 0 || r3 < 0 || r1 > 1e3 || r2 > 1e3 || r3 > 1e3 {
+			t.Skip("rate outside the meaningful range")
+		}
+		costs := Costs{L1: units.Duration(l1), L2: units.Duration(l2), PFS: units.Duration(pfs)}
+		rates := [3]units.Rate{units.Rate(r1), units.Rate(r2), units.Rate(r3)}
+		bounds := MultilevelConfig{
+			MaxL1PerL2:    1 + int(n1cap%8),
+			MaxL2PerL3:    1 + int(n2cap%8),
+			IntervalSteps: 2 + int(steps%16),
+			DisableCache:  true,
+		}
+		sched, err := OptimizeMultilevel(costs, rates, bounds)
+		if err != nil {
+			// Infeasible regimes (failures eat work faster than it is
+			// computed) are a legitimate outcome — but a deterministic one.
+			if _, err2 := OptimizeMultilevel(costs, rates, bounds); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("infeasibility not deterministic: %v then %v", err, err2)
+			}
+			return
+		}
+		if !(sched.Interval > 0) {
+			t.Fatalf("non-positive interval %v", sched.Interval)
+		}
+		if sched.L1PerL2 < 1 || sched.L1PerL2 > bounds.MaxL1PerL2 ||
+			sched.L2PerL3 < 1 || sched.L2PerL3 > bounds.MaxL2PerL3 {
+			t.Fatalf("pattern counts %d/%d outside bounds %d/%d",
+				sched.L1PerL2, sched.L2PerL3, bounds.MaxL1PerL2, bounds.MaxL2PerL3)
+		}
+		if r1+r2+r3 == 0 {
+			if !math.IsInf(float64(sched.Interval), 1) {
+				t.Fatalf("failure-free optimum should never checkpoint, got interval %v", sched.Interval)
+			}
+		} else {
+			st := sched.ExpectedStretch(costs, rates)
+			if math.IsNaN(st) || math.IsInf(st, 0) || st < 1 {
+				t.Fatalf("winning schedule %v has stretch %v, want finite >= 1", sched, st)
+			}
+		}
+		// The memoized path must agree with the raw search, on both the
+		// cold (store) and warm (load) lookups.
+		cached := bounds
+		cached.DisableCache = false
+		for pass := 0; pass < 2; pass++ {
+			again, err2 := OptimizeMultilevel(costs, rates, cached)
+			if err2 != nil || again != sched {
+				t.Fatalf("cached pass %d returned %v (%v), raw search returned %v", pass, again, err2, sched)
+			}
+		}
+	})
+}

@@ -107,9 +107,13 @@ func (s *multilevel) onFailure(f failures.Failure, _ units.Duration) response {
 
 	resp := response{rollback: true, restoreTo: bestProgress, restoreLevel: best}
 	if best == 0 {
-		// Restart from the beginning. With nothing to read, charge the
-		// failing level's (symmetric) restore time as the relaunch cost.
-		resp.restoreLevel = minLevel
+		// Restart from the beginning. The relaunch still pays the failing
+		// level's (symmetric) restore time — re-provisioning replaces what
+		// the failure destroyed — but the restore LEVEL stays 0: in Moody's
+		// model a from-scratch restart reads no checkpoint, so attributing
+		// it to level minLevel would inflate that level's restore count in
+		// traces and summaries (trace.Summary.Restores keeps index 0 for
+		// exactly these relaunches).
 		resp.restartCost = s.costs.CostForLevel(minLevel)
 	} else {
 		resp.restartCost = s.costs.CostForLevel(best)

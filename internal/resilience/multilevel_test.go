@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"testing"
+
+	"exaresil/internal/failures"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// TestMultilevelScratchRestartAccounting pins the from-scratch restart
+// contract of onFailure: when no checkpoint of an adequate level survives,
+// the response must roll all the way back to zero progress, report restore
+// LEVEL 0 (no checkpoint was read — attributing the relaunch to a real
+// level would corrupt trace restore histograms), and still charge the
+// failing level's symmetric restore time as the relaunch cost, per Moody's
+// model.
+// TestSingleLevelScratchRestartAccounting pins the same contract for the
+// single-level techniques: a rollback before the first checkpoint commits
+// is a from-scratch relaunch (trace level 0), not a read of the
+// technique's storage level; the relaunch cost is unchanged.
+func TestSingleLevelScratchRestartAccounting(t *testing.T) {
+	costs := Costs{L1: 1 * units.Minute, L2: 3 * units.Minute, PFS: 10 * units.Minute}
+	anyFailure := failures.Failure{Severity: failures.SeverityTransient}
+
+	cr := &checkpointRestart{application: testApp(workload.C64, 1000), costs: costs}
+	cr.reset()
+	if resp := cr.onFailure(anyFailure, 50); resp.restoreLevel != 0 || resp.restoreTo != 0 || resp.restartCost != costs.PFS {
+		t.Errorf("CR scratch restart = level %d @ %v costing %v, want level 0 @ 0 costing T_PFS",
+			resp.restoreLevel, resp.restoreTo, resp.restartCost)
+	}
+	cr.onCheckpointDone(3, 30)
+	if resp := cr.onFailure(anyFailure, 50); resp.restoreLevel != 3 || resp.restoreTo != 30 {
+		t.Errorf("CR restore = level %d @ %v, want level 3 @ 30min", resp.restoreLevel, resp.restoreTo)
+	}
+
+	pr := &parallelRecovery{application: testApp(workload.C64, 1000), costs: costs, speedup: 8}
+	pr.reset()
+	if resp := pr.onFailure(anyFailure, 50); resp.restoreLevel != 0 || resp.restoreTo != 0 || resp.restartCost != costs.L2 {
+		t.Errorf("PR scratch restart = level %d @ %v costing %v, want level 0 @ 0 costing T_L2",
+			resp.restoreLevel, resp.restoreTo, resp.restartCost)
+	}
+	pr.onCheckpointDone(2, 40)
+	if resp := pr.onFailure(anyFailure, 50); resp.restoreLevel != 2 || resp.restoreTo != 40 {
+		t.Errorf("PR restore = level %d @ %v, want level 2 @ 40min", resp.restoreLevel, resp.restoreTo)
+	}
+
+	// Full redundancy on 4 virtual / 8 physical nodes: a rollback needs
+	// both replicas of one virtual node down within a generation.
+	red := &redundancy{
+		application: testApp(workload.A32, 4),
+		costs:       costs,
+		degree:      2,
+		phys:        8,
+		replicated:  4,
+		failedIn:    make([]uint64, 8),
+		gen:         1,
+	}
+	red.reset()
+	if resp := red.onFailure(failures.Failure{Node: 0}, 10); resp.rollback {
+		t.Fatal("first replica hit should be absorbed")
+	}
+	if resp := red.onFailure(failures.Failure{Node: 4}, 10); !resp.rollback ||
+		resp.restoreLevel != 0 || resp.restoreTo != 0 || resp.restartCost != costs.PFS {
+		t.Errorf("redundancy scratch restart = %+v, want rollback to level 0 @ 0 costing T_PFS", resp)
+	}
+	red.onCheckpointDone(3, 30)
+	red.onFailure(failures.Failure{Node: 1}, 40)
+	if resp := red.onFailure(failures.Failure{Node: 5}, 40); resp.restoreLevel != 3 || resp.restoreTo != 30 {
+		t.Errorf("redundancy restore = level %d @ %v, want level 3 @ 30min", resp.restoreLevel, resp.restoreTo)
+	}
+}
+
+func TestMultilevelScratchRestartAccounting(t *testing.T) {
+	costs := Costs{L1: 1 * units.Minute, L2: 3 * units.Minute, PFS: 10 * units.Minute}
+	s := &multilevel{
+		application: testApp(workload.C64, 1000),
+		costs:       costs,
+		schedule:    MultilevelSchedule{Interval: 30 * units.Minute, L1PerL2: 2, L2PerL3: 2},
+	}
+	s.reset()
+
+	// No checkpoints at all: a node-loss failure restarts from scratch.
+	resp := s.onFailure(failures.Failure{Severity: failures.SeverityNodeLoss}, 50)
+	if !resp.rollback {
+		t.Fatal("failure with no checkpoint must roll back")
+	}
+	if resp.restoreTo != 0 {
+		t.Errorf("scratch restart restoreTo = %v, want 0", resp.restoreTo)
+	}
+	if resp.restoreLevel != 0 {
+		t.Errorf("scratch restart restoreLevel = %d, want 0 (no checkpoint read)", resp.restoreLevel)
+	}
+	if resp.restartCost != costs.L2 {
+		t.Errorf("scratch restart after severity-2 costs %v, want T_L2 = %v", resp.restartCost, costs.L2)
+	}
+
+	// A level-1 checkpoint does not survive a node loss: scratch again,
+	// and the destroyed level must be invalidated.
+	s.onCheckpointDone(1, 30)
+	resp = s.onFailure(failures.Failure{Severity: failures.SeverityNodeLoss}, 45)
+	if resp.restoreLevel != 0 || resp.restoreTo != 0 {
+		t.Errorf("L1 checkpoint survived a node loss: level %d, progress %v", resp.restoreLevel, resp.restoreTo)
+	}
+	if s.has[1] {
+		t.Error("node loss left the level-1 checkpoint marked alive")
+	}
+
+	// A level-2 checkpoint survives a node loss and is restored, at its
+	// own cost and level.
+	s.onCheckpointDone(2, 40)
+	resp = s.onFailure(failures.Failure{Severity: failures.SeverityNodeLoss}, 55)
+	if resp.restoreLevel != 2 || resp.restoreTo != 40 {
+		t.Errorf("restore = level %d @ %v, want level 2 @ 40min", resp.restoreLevel, resp.restoreTo)
+	}
+	if resp.restartCost != costs.L2 {
+		t.Errorf("level-2 restore costs %v, want %v", resp.restartCost, costs.L2)
+	}
+
+	// A newer level-1 checkpoint wins a transient failure.
+	s.onCheckpointDone(1, 60)
+	resp = s.onFailure(failures.Failure{Severity: failures.SeverityTransient}, 70)
+	if resp.restoreLevel != 1 || resp.restoreTo != 60 {
+		t.Errorf("restore = level %d @ %v, want level 1 @ 60min", resp.restoreLevel, resp.restoreTo)
+	}
+
+	// A catastrophic failure with only L1/L2 checkpoints: scratch at PFS
+	// relaunch cost.
+	resp = s.onFailure(failures.Failure{Severity: failures.SeverityCatastrophic}, 70)
+	if resp.restoreLevel != 0 || resp.restoreTo != 0 {
+		t.Errorf("catastrophe restored level %d @ %v, want scratch", resp.restoreLevel, resp.restoreTo)
+	}
+	if resp.restartCost != costs.PFS {
+		t.Errorf("catastrophic relaunch costs %v, want T_PFS = %v", resp.restartCost, costs.PFS)
+	}
+	if s.has[1] || s.has[2] {
+		t.Error("catastrophe left lower-level checkpoints alive")
+	}
+}

@@ -20,6 +20,7 @@ type parallelRecovery struct {
 	speedup     float64
 	tau         units.Duration
 	saved       units.Duration
+	has         bool
 }
 
 // newParallelRecovery builds the Parallel Recovery executor.
@@ -53,15 +54,22 @@ func (s *parallelRecovery) nextCheckpoint() (int, units.Duration) { return 2, s.
 
 func (s *parallelRecovery) onCheckpointDone(_ int, progress units.Duration) {
 	s.saved = progress
+	s.has = true
 }
 
 // onFailure: restore from the in-memory checkpoint. The restart reads the
-// partner copy, costing another T_L2.
+// partner copy, costing another T_L2. Before the first checkpoint commits
+// the restart reads nothing and traces as a from-scratch relaunch (level
+// 0) at the same cost.
 func (s *parallelRecovery) onFailure(failures.Failure, units.Duration) response {
+	level := 0
+	if s.has {
+		level = 2
+	}
 	return response{
 		rollback:     true,
 		restoreTo:    s.saved,
-		restoreLevel: 2,
+		restoreLevel: level,
 		restartCost:  s.costs.L2,
 	}
 }
@@ -70,7 +78,7 @@ func (s *parallelRecovery) onFailure(failures.Failure, units.Duration) response 
 // computed because the failed node's objects are spread across helpers.
 func (s *parallelRecovery) recoverySpeed() float64 { return s.speedup }
 
-func (s *parallelRecovery) reset() { s.saved = 0 }
+func (s *parallelRecovery) reset() { s.saved, s.has = 0, false }
 
 func (s *parallelRecovery) clone() strategy {
 	dup := *s

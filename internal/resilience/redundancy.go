@@ -27,6 +27,7 @@ type redundancy struct {
 	tau         units.Duration
 
 	saved units.Duration
+	has   bool
 	// failedIn holds, per physical node, the "generation" in which it
 	// last failed; a node counts as failed only if its entry equals gen.
 	// Bumping gen clears every mark in O(1).
@@ -98,6 +99,7 @@ func (s *redundancy) nextCheckpoint() (int, units.Duration) { return 3, s.costs.
 // node.
 func (s *redundancy) onCheckpointDone(_ int, progress units.Duration) {
 	s.saved = progress
+	s.has = true
 	s.gen++
 }
 
@@ -133,13 +135,18 @@ func (s *redundancy) onFailure(f failures.Failure, _ units.Duration) response {
 		// The virtual node still has a live replica: absorbed.
 		return response{}
 	}
-	// Virtual node lost: restore from the last PFS checkpoint. The
-	// restart re-provisions the hardware, clearing failure marks.
+	// Virtual node lost: restore from the last PFS checkpoint — or, before
+	// one has committed, relaunch from scratch (trace level 0, same PFS
+	// re-provisioning cost). The restart clears the failure marks.
 	s.gen++
+	level := 0
+	if s.has {
+		level = 3
+	}
 	return response{
 		rollback:     true,
 		restoreTo:    s.saved,
-		restoreLevel: 3,
+		restoreLevel: level,
 		restartCost:  s.costs.PFS,
 	}
 }
@@ -147,7 +154,7 @@ func (s *redundancy) onFailure(f failures.Failure, _ units.Duration) response {
 func (s *redundancy) recoverySpeed() float64 { return 1 }
 
 func (s *redundancy) reset() {
-	s.saved = 0
+	s.saved, s.has = 0, false
 	s.gen++
 }
 

@@ -12,6 +12,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"exaresil/internal/core"
@@ -154,6 +155,19 @@ type slackMapper struct{}
 
 func (slackMapper) Kind() core.Scheduler { return core.SlackBased }
 
+// sortSlack is the slack ordering key. Deadline-free candidates are exempt
+// from the negative-slack drop, and they must also be exempt from the raw
+// Slack value, which for Deadline == 0 is -(now + T_B) — more negative than
+// any real deadline's — and would jump them to the front of the queue.
+// Having no deadline means no urgency: they sort with infinite slack,
+// behind every deadline-bearing application.
+func sortSlack(c Candidate, now units.Duration) units.Duration {
+	if c.Deadline <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	return c.Slack(now)
+}
+
 func (slackMapper) Map(ctx Context, _ *rng.Source) Decision {
 	var d Decision
 	free := ctx.FreeNodes
@@ -166,7 +180,7 @@ func (slackMapper) Map(ctx Context, _ *rng.Source) Decision {
 		viable = append(viable, c)
 	}
 	sort.SliceStable(viable, func(i, j int) bool {
-		return viable[i].Slack(ctx.Now) < viable[j].Slack(ctx.Now)
+		return sortSlack(viable[i], ctx.Now) < sortSlack(viable[j], ctx.Now)
 	})
 	for _, c := range viable {
 		if c.Nodes <= free {

@@ -160,6 +160,41 @@ func TestSlackTreatsNoDeadlineAsUndroppable(t *testing.T) {
 	}
 }
 
+func TestSlackDeadlineFreeQueuesBehindDeadlines(t *testing.T) {
+	// Regression: a Deadline == 0 candidate's raw Slack(now) is
+	// -(now + T_B), more negative than any real deadline's slack, which
+	// used to sort deadline-free apps to the FRONT of the queue. Having no
+	// deadline means no urgency: they must queue behind every
+	// deadline-bearing app (Section III-D3).
+	m := MustNew(core.SlackBased)
+	queue := []Candidate{
+		cand(1, 60, 0, 500, 0),   // deadline-free, long baseline
+		cand(2, 60, 0, 100, 150), // slack 50: tight
+	}
+	// Only one fits: the deadline-bearing app must win.
+	d := m.Map(Context{Now: 0, Queue: queue, FreeNodes: 60}, rng.New(1))
+	if want := []int{2}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (deadline-free app must not jump the queue)", d.Start, want)
+	}
+	if len(d.Drop) != 0 {
+		t.Errorf("Drop = %v, want none", d.Drop)
+	}
+	// With room for both, the deadline-free app still starts — last.
+	d = m.Map(Context{Now: 0, Queue: queue, FreeNodes: 120}, rng.New(1))
+	if want := []int{2, 1}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (deadline-free last)", d.Start, want)
+	}
+	// Two deadline-free apps keep their relative queue order (stable sort).
+	queue = []Candidate{
+		cand(3, 10, 0, 100, 0),
+		cand(4, 10, 0, 900, 0),
+	}
+	d = m.Map(Context{Now: 0, Queue: queue, FreeNodes: 100}, rng.New(1))
+	if want := []int{3, 4}; !slices.Equal(d.Start, want) {
+		t.Errorf("Start = %v, want %v (stable among deadline-free)", d.Start, want)
+	}
+}
+
 func TestSlackUsesCurrentTime(t *testing.T) {
 	m := MustNew(core.SlackBased)
 	// Positive slack at arrival, negative by the time of this event.

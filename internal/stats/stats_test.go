@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -82,6 +83,65 @@ func TestMergeMatchesSequential(t *testing.T) {
 		vtol := 1e-6 * math.Max(1, whole.Variance())
 		return math.Abs(left.Variance()-whole.Variance()) <= vtol &&
 			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeChainMatchesSequential(t *testing.T) {
+	// Chained merges with empty chunks interleaved, the shape worker pools
+	// actually produce: some workers never receive a trial. All-negative
+	// samples make a leaked zero-value max (and all-positive a leaked
+	// zero-value min) visible, since the true extrema never equal 0.
+	prop := func(xs []float64, cuts [4]uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			// Shift everything strictly negative.
+			xs[i] = -1 - math.Abs(x)
+		}
+		var whole Accumulator
+		whole.AddAll(xs)
+
+		// Split xs into 5 chunks at the (sorted) cut points; repeated cut
+		// points yield empty chunks in the middle of the chain.
+		bounds := make([]int, 0, 6)
+		bounds = append(bounds, 0)
+		for _, c := range cuts {
+			if len(xs) == 0 {
+				bounds = append(bounds, 0)
+			} else {
+				bounds = append(bounds, int(c)%(len(xs)+1))
+			}
+		}
+		bounds = append(bounds, len(xs))
+		sort.Ints(bounds)
+
+		var merged Accumulator
+		for i := 0; i+1 < len(bounds); i++ {
+			var chunk Accumulator
+			chunk.AddAll(xs[bounds[i]:bounds[i+1]])
+			merged.Merge(chunk)
+		}
+
+		if merged.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			return false
+		}
+		if merged.Max() >= 0 {
+			return false // a zero value leaked into the extrema
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(whole.Mean()))
+		vtol := 1e-6 * math.Max(1, whole.Variance())
+		return math.Abs(merged.Mean()-whole.Mean()) <= tol &&
+			math.Abs(merged.Variance()-whole.Variance()) <= vtol
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

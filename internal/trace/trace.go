@@ -45,7 +45,10 @@ type Summary struct {
 	// Failures and Rollbacks count failure events and those that forced
 	// a restore.
 	Failures, Rollbacks int
-	// Restores counts completed restarts by level restored from.
+	// Restores counts completed restarts by the checkpoint level restored
+	// from. Index 0 counts from-scratch relaunches: restarts after a
+	// failure that left no surviving checkpoint, which read nothing and
+	// resume at zero progress.
 	Restores [4]int
 	// Completed reports whether the trace ends in completion.
 	Completed bool

@@ -9,6 +9,9 @@
 #
 # Usage: scripts/bench.sh [exabench flags...]
 # e.g.:  scripts/bench.sh -run fig4
+#
+# The correctness counterpart is scripts/check.sh (conformance sweep,
+# invariant checks, fuzz smoke, golden-exhibit digests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check.sh — the repository's model-conformance gate.
+#
+# Runs, in order:
+#   1. go vet over every package
+#   2. the race detector over the audit harness itself
+#   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
+#      schedule search, and the workload pattern reader
+#   4. the full conformance sweep (sim vs analytic, runtime invariants,
+#      metamorphic properties) — exits non-zero on any violation
+#   5. the golden-exhibit digest comparison against results/golden/
+#
+# Usage: scripts/check.sh [exacheck flags...]
+# e.g.:  scripts/check.sh -quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== race detector on the audit harness"
+go test -race -count=1 ./internal/check/
+
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
+go test ./internal/resilience/ -run='^$' -fuzz='^FuzzOptimizeMultilevel$' -fuzztime="$FUZZTIME"
+go test ./internal/workload/ -run='^$' -fuzz='^FuzzReadPattern$' -fuzztime="$FUZZTIME"
+
+echo "== conformance sweep"
+go run ./cmd/exacheck "$@" sweep
+
+echo "== golden exhibits"
+go run ./cmd/exacheck golden
