@@ -39,6 +39,7 @@ import (
 
 	"exaresil"
 	"exaresil/internal/experiments"
+	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
 	"exaresil/internal/units"
@@ -140,6 +141,7 @@ func exhibitBenches() []bench {
 			benchScaling(b, workload.D64, units.Duration(2.5)*units.Year)
 		}},
 		{"fig4", benchFig4},
+		{"fig4_metrics", benchFig4Metrics},
 		{"fig5", benchFig5},
 		{"cluster_run", benchClusterRun},
 		{"executor_run", benchExecutorRun},
@@ -170,6 +172,29 @@ func benchFig4(b *testing.B) {
 	cfg := experiments.Default()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.ClusterSpec{
+			Config:   cfg,
+			Patterns: 2,
+			Arrivals: 30,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) != 12 {
+			b.Fatalf("want 12 cells, got %d", len(res.Cells))
+		}
+	}
+}
+
+// benchFig4Metrics is benchFig4 with an obs registry attached: the delta
+// against fig4 is the enabled-metrics overhead, and fig4 itself (nil
+// registry, hooks compiled in) tracks the disabled overhead against the
+// pre-obs baseline.
+func benchFig4Metrics(b *testing.B) {
+	cfg := experiments.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Obs = obs.NewRegistry()
 		_, res, err := experiments.ClusterSpec{
 			Config:   cfg,
 			Patterns: 2,

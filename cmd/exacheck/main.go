@@ -10,9 +10,10 @@
 // The sweep mode runs the conformance audit of internal/check: a grid of
 // (checkpoint cost x failure rate x node count x technique) cells, each
 // comparing the Monte-Carlo mean efficiency against the closed-form
-// prediction, checking every runtime invariant on the traces, and testing
-// the metamorphic properties of the analytic layer. It exits non-zero on
-// any violation.
+// prediction, checking every runtime invariant on the traces, testing the
+// metamorphic properties of the analytic layer, and reconciling the obs
+// metrics the engines emit against trace-derived totals. It exits non-zero
+// on any violation.
 //
 // The golden mode regenerates reduced-size paper exhibits at a pinned seed
 // and compares their CSV digests against results/golden/manifest.txt,
@@ -110,8 +111,8 @@ func runSweep(trials int, seed uint64, workers int, quick bool) error {
 	rep.Write(os.Stdout)
 	fmt.Printf("(sweep of %d cells in %v)\n", len(rep.Cells), time.Since(start).Round(time.Millisecond))
 	if !rep.OK() {
-		return fmt.Errorf("audit failed: %d conformance failures, %d invariant violations, %d metamorphic failures",
-			rep.ConformanceFailures(), len(rep.Violations), len(rep.Metamorphic))
+		return fmt.Errorf("audit failed: %d conformance failures, %d invariant violations, %d metamorphic failures, %d metrics reconciliation failures",
+			rep.ConformanceFailures(), len(rep.Violations), len(rep.Metamorphic), len(rep.MetricsChecks))
 	}
 	return nil
 }
@@ -133,6 +134,10 @@ func goldenExhibits(cfg experiments.Config) []struct {
 		{"fig1", func() (*report.Table, error) { t, _, err := experiments.Figure1(cfg, 20); return t, err }},
 		{"fig4", func() (*report.Table, error) { t, _, err := experiments.Figure4(cfg, 6); return t, err }},
 		{"fig5", func() (*report.Table, error) { t, _, err := experiments.Figure5(cfg, 6); return t, err }},
+		{"backfill", func() (*report.Table, error) {
+			t, _, err := experiments.BackfillSpec{Config: cfg, Patterns: 6}.Run()
+			return t, err
+		}},
 	}
 }
 

@@ -19,6 +19,10 @@
 //	-seed N       master random seed (default the paper-epoch constant)
 //	-csv DIR      additionally write each exhibit as DIR/<name>.csv
 //	-chart        additionally render figures as ASCII bar charts
+//	-metrics F    collect simulation metrics across the whole run and
+//	              write them to F on exit — Prometheus text exposition
+//	              format, or a JSON snapshot when F ends in .json
+//	              ("-" writes to stdout)
 //	-workers N    worker goroutines (default all CPUs)
 //	-cpuprofile F write a pprof CPU profile of the whole run to F
 //	-memprofile F write a pprof allocation profile to F on exit
@@ -34,9 +38,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"exaresil/internal/experiments"
+	"exaresil/internal/obs"
 	"exaresil/internal/report"
 	"exaresil/internal/selection"
 )
@@ -55,6 +61,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "master random seed (0 = default)")
 	csvDir := fs.String("csv", "", "directory to write CSV copies of each exhibit")
 	chart := fs.Bool("chart", false, "render figures as ASCII bar charts too")
+	metricsPath := fs.String("metrics", "", "write run metrics to this file (Prometheus text; JSON if it ends in .json; - for stdout)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -93,6 +100,9 @@ func run(args []string) error {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *metricsPath != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
 
 	exhibits := fs.Args()
 	if len(exhibits) == 0 {
@@ -127,6 +137,39 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(cfg.Obs, *metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeMetrics dumps the run's registry: Prometheus text exposition by
+// default, a JSON snapshot when the path ends in .json, stdout for "-".
+func writeMetrics(r *obs.Registry, path string) error {
+	var w *os.File
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".json") {
+		if err := r.WriteJSON(w); err != nil {
+			return err
+		}
+	} else if err := r.WriteProm(w); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("(metrics written to %s)\n", path)
+		return w.Close()
 	}
 	return nil
 }

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"fmt"
+
+	"exaresil/internal/cluster"
+	"exaresil/internal/units"
+)
+
+// CheckCluster validates the outcome ledger of one cluster run against the
+// contracts the cluster layer promises: every application's fate must be
+// consistent with its timestamps, the aggregate counters must decompose
+// exactly, and the node-seconds actually occupied can never exceed the
+// machine's capacity over the run. The context string labels any violations
+// (e.g. "fcfs/cr seed=3"). Like the trace Checker, it only reports; it
+// never mutates the metrics.
+func CheckCluster(context string, spec cluster.Spec, m cluster.Metrics) []Violation {
+	var vs []Violation
+	bad := func(t units.Duration, format string, args ...any) {
+		vs = append(vs, Violation{Context: context, Time: t, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if len(m.Results) != m.Total {
+		bad(0, "ledger holds %d results for %d applications", len(m.Results), m.Total)
+	}
+	if m.Completed+m.Dropped != m.Total {
+		bad(0, "completed %d + dropped %d != total %d", m.Completed, m.Dropped, m.Total)
+	}
+	if m.DroppedQueued+m.DroppedRunning != m.Dropped {
+		bad(0, "dropped decomposition %d + %d != %d", m.DroppedQueued, m.DroppedRunning, m.Dropped)
+	}
+	if m.PeakUtilization < 0 || m.PeakUtilization > 1 {
+		bad(0, "peak utilization %v outside [0, 1]", m.PeakUtilization)
+	}
+	if m.AvgUtilization < 0 || m.AvgUtilization > m.PeakUtilization {
+		bad(0, "average utilization %v outside [0, peak=%v]", m.AvgUtilization, m.PeakUtilization)
+	}
+
+	// nodeSeconds integrates PhysNodes x residency over every application
+	// that ever occupied the machine (completions and dropped-running both
+	// hold their nodes until End).
+	var nodeSeconds float64
+	counts := map[cluster.Outcome]int{}
+	for _, r := range m.Results {
+		id := r.App.ID
+		counts[r.Outcome]++
+
+		if r.Waited() < 0 {
+			bad(r.End, "app %d: negative wait %v", id, r.Waited())
+		}
+		if r.End > m.MakespanEnd {
+			bad(r.End, "app %d: ends after the recorded makespan end %v", id, m.MakespanEnd)
+		}
+		if r.Started {
+			if r.Start < r.App.Arrival {
+				bad(r.Start, "app %d: started %v before its arrival %v", id, r.Start, r.App.Arrival)
+			}
+			if r.End <= r.Start {
+				bad(r.End, "app %d: started at %v but ended at %v", id, r.Start, r.End)
+			}
+			if r.PhysNodes < r.App.Nodes {
+				bad(r.Start, "app %d: occupied %d nodes, fewer than its %d logical nodes",
+					id, r.PhysNodes, r.App.Nodes)
+			}
+			nodeSeconds += float64(r.PhysNodes) * float64(r.End-r.Start)
+		}
+
+		switch r.Outcome {
+		case cluster.OutcomeCompleted:
+			if !r.Started {
+				bad(r.End, "app %d: completed without ever starting", id)
+			}
+			if r.App.Deadline > 0 && r.End > r.App.Deadline {
+				bad(r.End, "app %d: completed at %v, after its deadline %v", id, r.End, r.App.Deadline)
+			}
+		case cluster.OutcomeDroppedRunning:
+			if !r.Started {
+				bad(r.End, "app %d: dropped-running without ever starting", id)
+			}
+			if r.App.Deadline > 0 && r.End != r.App.Deadline {
+				bad(r.End, "app %d: dropped while running at %v, not at its deadline %v",
+					id, r.End, r.App.Deadline)
+			}
+		case cluster.OutcomeDroppedQueued:
+			if r.Started {
+				bad(r.End, "app %d: dropped-queued but marked as started", id)
+			}
+		default:
+			bad(r.End, "app %d: unknown outcome %v", id, r.Outcome)
+		}
+	}
+
+	if counts[cluster.OutcomeCompleted] != m.Completed {
+		bad(0, "ledger has %d completions, counters say %d", counts[cluster.OutcomeCompleted], m.Completed)
+	}
+	if counts[cluster.OutcomeDroppedQueued] != m.DroppedQueued {
+		bad(0, "ledger has %d queued drops, counters say %d", counts[cluster.OutcomeDroppedQueued], m.DroppedQueued)
+	}
+	if counts[cluster.OutcomeDroppedRunning] != m.DroppedRunning {
+		bad(0, "ledger has %d running drops, counters say %d", counts[cluster.OutcomeDroppedRunning], m.DroppedRunning)
+	}
+
+	// Applications can only occupy nodes the machine has: the integral of
+	// occupancy over the run is bounded by full utilization of every node
+	// from time zero to the last departure. The small relative slack
+	// absorbs float64 rounding in the summation, nothing more.
+	capacity := float64(spec.Machine.Nodes) * float64(m.MakespanEnd)
+	if nodeSeconds > capacity*(1+1e-9) {
+		bad(m.MakespanEnd, "applications occupied %.0f node-minutes, machine capacity is %.0f",
+			nodeSeconds/float64(units.Minute), capacity/float64(units.Minute))
+	}
+	return vs
+}

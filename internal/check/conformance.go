@@ -12,6 +12,7 @@ import (
 	"exaresil/internal/core"
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
+	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
 	"exaresil/internal/stats"
@@ -119,12 +120,16 @@ func (c Cell) Label() string {
 }
 
 // Report aggregates a full audit: the conformance cells, every runtime
-// invariant violation observed in their traces, and the metamorphic
-// failures.
+// invariant violation observed in their traces, the metamorphic failures,
+// and the metrics-vs-trace reconciliation failures.
 type Report struct {
 	Cells       []Cell
 	Violations  []Violation
 	Metamorphic []string
+	// MetricsChecks lists per-technique disagreements between the sweep's
+	// obs registry (fed by the engine's metrics hooks) and the same totals
+	// derived independently from traces and Results.
+	MetricsChecks []string
 }
 
 // ConformanceFailures counts cells whose sim-vs-analytic comparison failed.
@@ -140,7 +145,8 @@ func (r *Report) ConformanceFailures() int {
 
 // OK reports a clean audit.
 func (r *Report) OK() bool {
-	return r.ConformanceFailures() == 0 && len(r.Violations) == 0 && len(r.Metamorphic) == 0
+	return r.ConformanceFailures() == 0 && len(r.Violations) == 0 &&
+		len(r.Metamorphic) == 0 && len(r.MetricsChecks) == 0
 }
 
 // Write renders the report.
@@ -164,6 +170,10 @@ func (r *Report) Write(w io.Writer) {
 	}
 	fmt.Fprintf(w, "metamorphic: %d failures\n", len(r.Metamorphic))
 	for _, m := range r.Metamorphic {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+	fmt.Fprintf(w, "metrics: %d reconciliation failures\n", len(r.MetricsChecks))
+	for _, m := range r.MetricsChecks {
 		fmt.Fprintf(w, "  %s\n", m)
 	}
 }
@@ -245,8 +255,15 @@ func (s Sweep) Run() (*Report, error) {
 		workers = len(specs)
 	}
 
+	// Every cell's executor feeds one shared obs registry; the per-cell
+	// expected totals (derived independently from traces and Results) are
+	// folded per technique afterwards and reconciled against it.
+	reg := obs.NewRegistry()
+	rm := resilience.NewMetrics(reg)
+
 	cells := make([]Cell, len(specs))
 	violations := make([][]Violation, len(specs))
+	totals := make([]phaseTotals, len(specs))
 	errs := make([]error, len(specs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -259,30 +276,87 @@ func (s Sweep) Run() (*Report, error) {
 				if i >= int64(len(specs)) {
 					return
 				}
-				cells[i], violations[i], errs[i] = s.runCell(specs[i], uint64(i))
+				cells[i], violations[i], totals[i], errs[i] = s.runCell(specs[i], uint64(i), rm)
 			}
 		}()
 	}
 	wg.Wait()
 
 	rep := &Report{Cells: cells}
+	perTech := make(map[core.Technique]*phaseTotals)
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("check: cell %s: %w", cells[i].Label(), err)
 		}
 		rep.Violations = append(rep.Violations, violations[i]...)
+		t, ok := perTech[specs[i].tech]
+		if !ok {
+			t = &phaseTotals{}
+			perTech[specs[i].tech] = t
+		}
+		t.add(totals[i])
 	}
+	rep.MetricsChecks = reconcileMetrics(reg, perTech)
 	rep.Metamorphic = s.metamorphic()
 	return rep, nil
 }
 
+// phaseTotals accumulates the metric values one technique's runs are
+// expected to have produced, derived from trace splits and Results rather
+// than from the metrics hooks themselves.
+type phaseTotals struct {
+	runs, completions, failures, rollbacks uint64
+	severities                             [4]uint64
+	// Time phases in simulated minutes, matching the label values of
+	// exaresil_resilience_time_minutes_total.
+	checkpoint, restore, relaunch, rework, useful float64
+}
+
+// add folds another cell's totals in.
+func (t *phaseTotals) add(o phaseTotals) {
+	t.runs += o.runs
+	t.completions += o.completions
+	t.failures += o.failures
+	t.rollbacks += o.rollbacks
+	for i := range t.severities {
+		t.severities[i] += o.severities[i]
+	}
+	t.checkpoint += o.checkpoint
+	t.restore += o.restore
+	t.relaunch += o.relaunch
+	t.rework += o.rework
+	t.useful += o.useful
+}
+
+// observe folds one run into the expected totals: counts and rework/useful
+// from the Result, the blocking-phase times from the trace-derived split
+// (the independent ledger).
+func (t *phaseTotals) observe(res resilience.Result, split PhaseSplit, severities [4]int) {
+	t.runs++
+	if res.Completed {
+		t.completions++
+	}
+	t.failures += uint64(res.Failures)
+	t.rollbacks += uint64(res.Rollbacks)
+	for i := range severities {
+		t.severities[i] += uint64(severities[i])
+	}
+	t.checkpoint += split.Checkpoint.Minutes()
+	t.restore += (split.Restore - split.Relaunch).Minutes()
+	t.relaunch += split.Relaunch.Minutes()
+	t.rework += res.ReworkTime.Minutes()
+	if useful := res.Makespan() - res.CheckpointTime - res.RestartTime - res.ReworkTime; useful > 0 {
+		t.useful += useful.Minutes()
+	}
+}
+
 // runCell evaluates one grid point: Trials checked simulation runs and the
 // analytic prediction.
-func (s Sweep) runCell(spec cellSpec, index uint64) (Cell, []Violation, error) {
+func (s Sweep) runCell(spec cellSpec, index uint64, rm *resilience.Metrics) (Cell, []Violation, phaseTotals, error) {
 	cfg := s.Machine.WithMTBF(spec.mtbf)
 	model, err := failures.NewModel(spec.mtbf, s.PMF)
 	if err != nil {
-		return Cell{}, nil, err
+		return Cell{}, nil, phaseTotals{}, err
 	}
 	app := workload.App{
 		Class:     spec.class,
@@ -299,29 +373,36 @@ func (s Sweep) runCell(spec cellSpec, index uint64) (Cell, []Violation, error) {
 
 	cell.Analytic, err = analytic.Efficiency(spec.tech, app, cfg, model, s.Resilience)
 	if err != nil {
-		return cell, nil, err
+		return cell, nil, phaseTotals{}, err
 	}
 
 	x, err := resilience.New(spec.tech, app, cfg, model, s.Resilience)
 	if err != nil {
-		return cell, nil, err
+		return cell, nil, phaseTotals{}, err
 	}
 	cell.Viable, _ = x.Viable()
 
 	checker := NewChecker(x)
 	resilience.Observe(x, checker.Observe)
+	resilience.Instrument(x, rm)
 	horizon := units.Duration(float64(app.Baseline()) * 100)
 	var eff stats.Accumulator
+	var totals phaseTotals
 	for trial := 0; trial < s.Trials; trial++ {
 		checker.BeginRun(fmt.Sprintf("%s trial %d", cell.Label(), trial))
 		res := x.Run(0, horizon, rng.Stream(s.Seed^(index*0x9e3779b97f4a7c15), uint64(trial)))
 		checker.FinishRun(res)
 		eff.Add(res.Efficiency())
+		if res.Blocked == "" {
+			// Blocked runs never reach the engine, so the metrics hooks
+			// never saw them either.
+			totals.observe(res, checker.RunSplit(), checker.RunSeverities())
+		}
 	}
 	cell.Sim = eff.Summarize()
 
 	cell.OK, cell.Detail = s.verdict(cell)
-	return cell, checker.Violations(), nil
+	return cell, checker.Violations(), totals, nil
 }
 
 // verdict compares the analytic prediction against the simulated mean.
@@ -345,6 +426,69 @@ func (s Sweep) verdict(c Cell) (bool, string) {
 	}
 	return false, fmt.Sprintf("analytic %.4f vs sim %.4f exceeds band %.4f",
 		c.Analytic, c.Sim.Mean, s.Tol.AbsEff+s.Tol.CIMult*c.Sim.CI95)
+}
+
+// reconcileMetrics compares the obs registry the sweep's executors fed
+// against the per-technique totals derived independently from traces and
+// Results. The two ledgers observe the same runs through different code
+// paths (engine hooks vs. trace mirror), so any disagreement beyond
+// float-summation drift is a bug in one of them.
+func reconcileMetrics(reg *obs.Registry, want map[core.Technique]*phaseTotals) []string {
+	// Index the snapshot by (family, technique, extra-label signature).
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		key := m.Name
+		for _, lk := range []string{"technique", "phase", "severity"} {
+			if v, ok := m.Labels[lk]; ok {
+				key += "|" + lk + "=" + v
+			}
+		}
+		snap[key] = m.Value
+	}
+
+	var fails []string
+	techs := make([]core.Technique, 0, len(want))
+	for t := range want {
+		techs = append(techs, t)
+	}
+	sort.Slice(techs, func(i, j int) bool { return techs[i] < techs[j] })
+
+	for _, tech := range techs {
+		w := want[tech]
+		lbl := resilience.TechLabel(tech)
+		series := func(name, extra string) float64 {
+			return snap[name+"|technique="+lbl+extra]
+		}
+		checkCount := func(name, extra string, wantV uint64) {
+			if got := series(name, extra); got != float64(wantV) {
+				fails = append(fails, fmt.Sprintf("%v: %s%s = %g, trace-derived total %d", tech, name, extra, got, wantV))
+			}
+		}
+		checkCount("exaresil_resilience_runs_total", "", w.runs)
+		checkCount("exaresil_resilience_completions_total", "", w.completions)
+		checkCount("exaresil_resilience_failures_total", "", w.failures)
+		checkCount("exaresil_resilience_rollbacks_total", "", w.rollbacks)
+		for sev := 1; sev <= 3; sev++ {
+			checkCount("exaresil_resilience_failures_by_severity_total",
+				fmt.Sprintf("|severity=%d", sev), w.severities[sev])
+		}
+		checkTime := func(phase string, wantV float64) {
+			got := series("exaresil_resilience_time_minutes_total", "|phase="+phase)
+			// The metric and the expectation sum the same per-run values in
+			// different orders (parallel cells share a series), so allow
+			// float-summation drift proportional to the magnitude.
+			tol := 1e-9*math.Abs(wantV) + 1e-6
+			if math.Abs(got-wantV) > tol {
+				fails = append(fails, fmt.Sprintf("%v: time[%s] = %g min, trace-derived total %g min", tech, phase, got, wantV))
+			}
+		}
+		checkTime(resilience.PhaseCheckpoint, w.checkpoint)
+		checkTime(resilience.PhaseRestore, w.restore)
+		checkTime(resilience.PhaseRelaunch, w.relaunch)
+		checkTime(resilience.PhaseRework, w.rework)
+		checkTime(resilience.PhaseUseful, w.useful)
+	}
+	return fails
 }
 
 // SortCells orders the report's cells for stable rendering (parallel

@@ -85,7 +85,32 @@ type Checker struct {
 	failures, rollbacks int
 	checkpoints         [4]int
 	restores            [4]int
+	severities          [4]int
+
+	// Trace-derived wall-time split of the current run: the mirror's
+	// independent accounting of the engine's CheckpointTime, RestartTime
+	// and RelaunchTime, accumulated from event brackets alone.
+	ckptWallStart    units.Duration // valid while inCheckpoint
+	restoreWallStart units.Duration // valid while restorePending
+	split            PhaseSplit
 }
+
+// PhaseSplit is a trace-derived wall-time decomposition of one run: time
+// inside checkpoint writes (including the sunk partial of an interrupted
+// write), time inside restores, and — a subset of Restore — time in
+// from-scratch relaunches (restores from level 0). It deliberately mirrors
+// the Result's makespan decomposition so the two ledgers can be compared.
+type PhaseSplit struct {
+	Checkpoint, Restore, Relaunch units.Duration
+}
+
+// RunSplit reports the trace-derived split of the run most recently fed
+// through Observe (reset by BeginRun).
+func (c *Checker) RunSplit() PhaseSplit { return c.split }
+
+// RunSeverities reports the run's failure counts by severity level
+// (indices 1-3; reset by BeginRun).
+func (c *Checker) RunSeverities() [4]int { return c.severities }
 
 // NewChecker builds a checker for the given executor's runs. The run's
 // effective-work total (a pure function of the strategy, reported by every
@@ -112,6 +137,9 @@ func (c *Checker) BeginRun(label string) {
 	c.failures, c.rollbacks = 0, 0
 	c.checkpoints = [4]int{}
 	c.restores = [4]int{}
+	c.severities = [4]int{}
+	c.ckptWallStart, c.restoreWallStart = 0, 0
+	c.split = PhaseSplit{}
 }
 
 // Violations returns every violation recorded so far, across runs.
@@ -157,12 +185,16 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 		c.inCheckpoint = true
 		c.ckptLevel = ev.Level
 		c.ckptSnapshot = ev.Progress
+		c.ckptWallStart = ev.Time
 
 	case resilience.TraceCheckpointEnd:
 		if !c.inCheckpoint {
 			c.fail(ev.Time, "checkpoint end without a start")
-		} else if ev.Level != c.ckptLevel {
-			c.fail(ev.Time, "checkpoint ended at level %d but started at level %d", ev.Level, c.ckptLevel)
+		} else {
+			if ev.Level != c.ckptLevel {
+				c.fail(ev.Time, "checkpoint ended at level %d but started at level %d", ev.Level, c.ckptLevel)
+			}
+			c.split.Checkpoint += ev.Time - c.ckptWallStart
 		}
 		c.checkProgressMonotone(ev)
 		// The committed state is the snapshot captured at checkpoint START;
@@ -176,11 +208,24 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 
 	case resilience.TraceFailure:
 		c.failures++
+		c.severities[clamp(int(ev.Severity))]++
 		c.checkProgressMonotone(ev)
 		if !ev.Rollback {
 			break
 		}
 		c.rollbacks++
+		// Wall time sunk into an interrupted blocking phase belongs to that
+		// phase, exactly as the engine accounts it.
+		if c.inCheckpoint {
+			c.split.Checkpoint += ev.Time - c.ckptWallStart
+		}
+		if c.restorePending {
+			partial := ev.Time - c.restoreWallStart
+			c.split.Restore += partial
+			if c.expectedLevel == 0 {
+				c.split.Relaunch += partial
+			}
+		}
 		// A rollback cancels any in-flight checkpoint and supersedes any
 		// in-flight restore.
 		c.inCheckpoint = false
@@ -195,6 +240,7 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 		c.restorePending = true
 		c.pendingSeverity = sev
 		c.expectedRestore, c.expectedLevel = c.expectRestore(sev)
+		c.restoreWallStart = ev.Time
 
 	case resilience.TraceRestartEnd:
 		if !c.restorePending {
@@ -203,6 +249,11 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 		}
 		c.restorePending = false
 		c.restores[clamp(ev.Level)]++
+		wall := ev.Time - c.restoreWallStart
+		c.split.Restore += wall
+		if ev.Level == 0 {
+			c.split.Relaunch += wall
+		}
 		c.checkRestore(ev)
 
 	case resilience.TraceComplete:
@@ -325,6 +376,20 @@ func (c *Checker) FinishRun(res resilience.Result) {
 			c.fail(end, "Result counts %d level-%d checkpoints, trace %d",
 				res.Checkpoints[level], level, c.checkpoints[level])
 		}
+	}
+	// The trace-derived phase split must reconcile with the Result's
+	// makespan decomposition: both ledgers bracket the same blocking
+	// phases, so they may differ only by floating-point drift. (A phase
+	// still in flight at the horizon is excluded from both.)
+	ttol := units.Duration(completionTol(res.Makespan()))
+	if diff := c.split.Checkpoint - res.CheckpointTime; diff < -ttol || diff > ttol {
+		c.fail(end, "trace-derived checkpoint time %s, Result reports %s", c.split.Checkpoint, res.CheckpointTime)
+	}
+	if diff := c.split.Restore - res.RestartTime; diff < -ttol || diff > ttol {
+		c.fail(end, "trace-derived restore time %s, Result reports %s", c.split.Restore, res.RestartTime)
+	}
+	if diff := c.split.Relaunch - res.RelaunchTime; diff < -ttol || diff > ttol {
+		c.fail(end, "trace-derived relaunch time %s, Result reports %s", c.split.Relaunch, res.RelaunchTime)
 	}
 	// Progress is bounded by the effective-work total, and a completed run
 	// must have crossed the finish line at exactly that total (the Result

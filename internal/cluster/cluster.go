@@ -20,6 +20,7 @@ import (
 	"exaresil/internal/des"
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
+	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
 	"exaresil/internal/sched"
@@ -52,6 +53,13 @@ type Spec struct {
 	Pattern workload.Pattern
 	// Seed drives every random choice in the run.
 	Seed uint64
+	// Obs, when non-nil, receives the run's metrics: cluster series
+	// (queue depth, utilization, per-outcome counts, mapper invocations),
+	// the resilience time split of every executor the run builds, and the
+	// event counters of every simulator involved. Attaching a registry
+	// never changes simulation behavior — the series only count — so runs
+	// with and without Obs are bit-identical.
+	Obs *obs.Registry
 }
 
 // Outcome classifies how an application left the system.
@@ -96,6 +104,10 @@ type AppResult struct {
 	Start   units.Duration
 	// End is when it left the system (completion, drop, or deadline).
 	End units.Duration
+	// PhysNodes is the number of machine nodes the application occupied
+	// while running (more than App.Nodes for redundant techniques); set
+	// whether or not it ever started.
+	PhysNodes int
 }
 
 // Waited reports how long the application queued before starting (or
@@ -191,7 +203,10 @@ func Run(spec Spec) (Metrics, error) {
 		free:    spec.Machine.Nodes,
 		sim:     des.New(),
 		mapSrc:  rng.Stream(spec.Seed, 1_000_000_007),
+		m:       newClusterMetrics(spec.Obs),
+		rm:      resilience.NewMetrics(spec.Obs),
 	}
+	c.sim.SetMetrics(des.NewMetrics(spec.Obs))
 	return c.execute()
 }
 
@@ -208,6 +223,8 @@ type run struct {
 	mapping bool // a mapping event is already pending at the current time
 	peak    int
 	err     error
+	m       *clusterMetrics
+	rm      *resilience.Metrics
 
 	// busyIntegral accumulates used-node x time; busySince marks the last
 	// time the used count changed.
@@ -222,6 +239,7 @@ func (c *run) noteUtilization() {
 	used := c.spec.Machine.Nodes - c.free
 	c.busyIntegral += float64(used) * float64(now-c.busySince)
 	c.busySince = now
+	c.m.observeUtilization(float64(used) / float64(c.spec.Machine.Nodes))
 }
 
 func (c *run) execute() (Metrics, error) {
@@ -314,7 +332,7 @@ func (c *run) mapEvent() {
 			// (e.g. its replica set exceeds the machine): drop it now
 			// rather than let it sit in the queue forever.
 			c.resolve(j, AppResult{
-				App: j.app, Technique: j.tech,
+				App: j.app, Technique: j.tech, PhysNodes: j.phys,
 				Outcome: OutcomeDroppedQueued, End: now,
 			})
 			continue
@@ -334,6 +352,7 @@ func (c *run) mapEvent() {
 		return
 	}
 
+	c.m.observeMapEvent(len(c.queue))
 	var running []sched.Running
 	for _, j := range c.jobs {
 		if j.running {
@@ -355,7 +374,7 @@ func (c *run) mapEvent() {
 		}
 		dropped[id] = true
 		c.resolve(j, AppResult{
-			App: j.app, Technique: j.tech,
+			App: j.app, Technique: j.tech, PhysNodes: j.phys,
 			Outcome: OutcomeDroppedQueued, End: now,
 		})
 	}
@@ -398,6 +417,7 @@ func (c *run) prepare(j *job) error {
 	}
 	j.exec = exec
 	j.phys = exec.PhysicalNodes()
+	resilience.Instrument(exec, c.rm)
 	return nil
 }
 
@@ -409,6 +429,7 @@ func (c *run) start(j *job, now units.Duration) {
 		c.peak = used
 	}
 	j.started = true
+	c.m.observeStart()
 
 	horizon := j.app.Deadline
 	if horizon <= now {
@@ -425,7 +446,7 @@ func (c *run) start(j *job, now units.Duration) {
 			c.free += j.phys
 			j.started = false
 			c.resolve(j, AppResult{
-				App: j.app, Technique: j.tech,
+				App: j.app, Technique: j.tech, PhysNodes: j.phys,
 				Outcome: OutcomeDroppedQueued, End: now,
 			})
 			c.triggerMapping()
@@ -450,7 +471,7 @@ func (c *run) start(j *job, now units.Duration) {
 		c.free += j.phys
 		j.running = false
 		c.resolve(j, AppResult{
-			App: j.app, Technique: j.tech,
+			App: j.app, Technique: j.tech, PhysNodes: j.phys,
 			Outcome: outcome, Started: true, Start: now, End: end,
 		})
 		c.triggerMapping()
@@ -466,4 +487,5 @@ func (c *run) resolve(j *job, r AppResult) {
 	}
 	j.finished = true
 	j.result = r
+	c.m.observeResolve(r)
 }

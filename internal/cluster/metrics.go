@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"exaresil/internal/obs"
+)
+
+// clusterMetrics is the cluster layer's observability bundle: mapper
+// activity, queue pressure, node utilization samples, queueing delay, and
+// per-outcome application counts. Like every bundle in the study, the nil
+// bundle is fully disabled — each hook is a nil-receiver no-op — and all
+// series are atomic, so sweeps that run many cluster simulations against
+// one registry aggregate across runs.
+type clusterMetrics struct {
+	// mapEvents counts mapper invocations (coalesced mapping events, not
+	// arrivals); starts counts applications placed on the machine.
+	mapEvents *obs.Counter
+	starts    *obs.Counter
+	// outcomes counts resolved applications by fate, indexed by Outcome.
+	outcomes [3]*obs.Counter
+	// queueDepth samples the viable queue length at each mapping event;
+	// queuePeak is its maximum.
+	queueDepth *obs.Histogram
+	queuePeak  *obs.Gauge
+	// utilization samples the in-use node fraction at every allocation
+	// change.
+	utilization *obs.Histogram
+	// waits samples per-application queueing delay in simulated minutes.
+	waits *obs.Histogram
+}
+
+// newClusterMetrics registers the cluster series on r (nil r yields the
+// disabled bundle).
+func newClusterMetrics(r *obs.Registry) *clusterMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &clusterMetrics{
+		mapEvents: r.Counter("exaresil_cluster_mapper_invocations_total",
+			"resource-management mapping events"),
+		starts: r.Counter("exaresil_cluster_apps_started_total",
+			"applications placed on the machine"),
+		queueDepth: r.Histogram("exaresil_cluster_queue_depth",
+			"viable queue length sampled at each mapping event", obs.DepthBuckets),
+		queuePeak: r.Gauge("exaresil_cluster_queue_depth_peak",
+			"maximum viable queue length observed"),
+		utilization: r.Histogram("exaresil_cluster_node_utilization",
+			"in-use node fraction sampled at allocation changes", obs.FractionBuckets),
+		waits: r.Histogram("exaresil_cluster_wait_minutes",
+			"per-application queueing delay in simulated minutes", obs.MinuteBuckets),
+	}
+	for o := OutcomeCompleted; o <= OutcomeDroppedRunning; o++ {
+		m.outcomes[o] = r.Counter("exaresil_cluster_apps_total",
+			"resolved applications by fate", obs.L("outcome", o.String()))
+	}
+	return m
+}
+
+// observeMapEvent records one mapper invocation over a queue of the given
+// depth.
+func (m *clusterMetrics) observeMapEvent(depth int) {
+	if m == nil {
+		return
+	}
+	m.mapEvents.Inc()
+	m.queuePeak.SetMax(int64(depth))
+	m.queueDepth.Observe(float64(depth))
+}
+
+// observeStart records one placement.
+func (m *clusterMetrics) observeStart() {
+	if m == nil {
+		return
+	}
+	m.starts.Inc()
+}
+
+// observeUtilization samples the in-use node fraction.
+func (m *clusterMetrics) observeUtilization(fraction float64) {
+	if m == nil {
+		return
+	}
+	m.utilization.Observe(fraction)
+}
+
+// observeResolve records one application's fate.
+func (m *clusterMetrics) observeResolve(r AppResult) {
+	if m == nil {
+		return
+	}
+	if int(r.Outcome) >= 0 && int(r.Outcome) < len(m.outcomes) {
+		m.outcomes[r.Outcome].Inc()
+	}
+	m.waits.Observe(r.Waited().Minutes())
+}

@@ -170,6 +170,10 @@ type Simulator struct {
 	pool     []*Event
 	recycled uint64
 
+	// m is the observability bundle (see SetMetrics). The zero value is
+	// disabled: each hook is a nil-receiver no-op.
+	m Metrics
+
 	// Trace, when non-nil, observes every fired event.
 	Trace Tracer
 }
@@ -252,12 +256,17 @@ func (s *Simulator) Schedule(at units.Duration, label string, fn Callback) *Even
 		s.pool[n-1] = nil
 		s.pool = s.pool[:n-1]
 		s.recycled++
+		s.m.Recycled.Inc()
 		*e = Event{at: at, seq: s.seq, fn: fn, label: label}
 	} else {
 		e = &Event{at: at, seq: s.seq, fn: fn, label: label}
 	}
 	s.seq++
 	s.queue.push(e)
+	s.m.Scheduled.Inc()
+	depth := int64(len(s.queue))
+	s.m.HeapDepthPeak.SetMax(depth)
+	s.m.HeapDepth.Observe(float64(depth))
 	return e
 }
 
@@ -276,6 +285,7 @@ func (s *Simulator) Cancel(e *Event) {
 	}
 	s.queue.remove(e.index)
 	s.release(e)
+	s.m.Canceled.Inc()
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -294,6 +304,7 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = e.at
 	s.fired++
+	s.m.Dispatched.Inc()
 	if s.Trace != nil {
 		s.Trace(e.at, e.label)
 	}

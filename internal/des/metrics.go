@@ -1,0 +1,50 @@
+package des
+
+import "exaresil/internal/obs"
+
+// Metrics is the engine's observability bundle. The zero value (all nil
+// series) is the disabled bundle: every hook degrades to a nil-receiver
+// no-op, so an uninstrumented Simulator pays only the pointer test inside
+// each obs call. Construct with NewMetrics and attach via SetMetrics; many
+// simulators may share one bundle (the series are atomic), which is exactly
+// what the parallel study drivers do — the counters then aggregate across
+// every engine in the study.
+type Metrics struct {
+	// Scheduled and Dispatched count events entering and leaving the
+	// queue; Canceled counts removals before firing.
+	Scheduled  *obs.Counter
+	Dispatched *obs.Counter
+	Canceled   *obs.Counter
+	// Recycled counts Schedule calls satisfied from the pooled free list.
+	Recycled *obs.Counter
+	// HeapDepthPeak is the maximum queue depth ever observed.
+	HeapDepthPeak *obs.Gauge
+	// HeapDepth samples the queue depth at every Schedule.
+	HeapDepth *obs.Histogram
+}
+
+// NewMetrics registers the engine's series on r (nil r yields the disabled
+// bundle). Re-registration returns the same shared series.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Scheduled:     r.Counter("exaresil_des_events_scheduled_total", "events pushed onto the simulation queue"),
+		Dispatched:    r.Counter("exaresil_des_events_dispatched_total", "events fired by the simulation loop"),
+		Canceled:      r.Counter("exaresil_des_events_canceled_total", "events removed before firing"),
+		Recycled:      r.Counter("exaresil_des_events_recycled_total", "Schedule calls served from the pooled free list"),
+		HeapDepthPeak: r.Gauge("exaresil_des_heap_depth_peak", "maximum event-queue depth observed"),
+		HeapDepth:     r.Histogram("exaresil_des_heap_depth", "event-queue depth sampled at each Schedule", obs.DepthBuckets),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) an observability bundle.
+// Attachment never changes simulation behavior: the bundle only counts.
+func (s *Simulator) SetMetrics(m *Metrics) {
+	if m == nil {
+		s.m = Metrics{}
+		return
+	}
+	s.m = *m
+}

@@ -141,6 +141,7 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 					Resilience: s.Resilience,
 					Pattern:    pats[pattern],
 					Seed:       s.Seed ^ (uint64(pattern+1) * 0xd1342543de82ef95),
+					Obs:        s.Obs,
 				}
 				m, err := cluster.Run(spec)
 				outs[i] = outcome{pct: m.DroppedPct(), wait: m.MeanWait.Minutes(), err: err}

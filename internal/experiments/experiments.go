@@ -11,6 +11,7 @@ import (
 
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
+	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/units"
 )
@@ -29,6 +30,10 @@ type Config struct {
 	Seed uint64
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, collects metrics from every simulation a driver
+	// runs (see internal/obs). Attaching a registry never changes any
+	// exhibit's numbers: the series only count.
+	Obs *obs.Registry
 }
 
 // Default returns the paper's configuration.

@@ -95,6 +95,7 @@ func (s ScalingSpec) Run() (*report.Table, ScalingResult, error) {
 		return nil, ScalingResult{}, err
 	}
 
+	rm := resilience.NewMetrics(s.Obs)
 	result := ScalingResult{Class: s.Class, MTBF: model.MTBF()}
 	cols := []string{"system use"}
 	for _, tech := range s.Techniques {
@@ -121,6 +122,7 @@ func (s ScalingSpec) Run() (*report.Table, ScalingResult, error) {
 			if err != nil {
 				return nil, ScalingResult{}, fmt.Errorf("experiments: %v at %s: %w", tech, fracLabel(frac), err)
 			}
+			resilience.Instrument(x, rm)
 			st := appsim.Run(appsim.TrialSpec{
 				Executor: x,
 				Trials:   s.Trials,

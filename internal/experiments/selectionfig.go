@@ -89,6 +89,9 @@ func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
 	if selOpts.Seed == 0 {
 		selOpts.Seed = s.Seed ^ 0xa0761d6478bd642f
 	}
+	if selOpts.Obs == nil {
+		selOpts.Obs = s.Obs
+	}
 	selector, err := selection.NewSelector(s.Machine, model, s.Resilience, selOpts)
 	if err != nil {
 		return nil, SelectionResult{}, err

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sortedFamilies snapshots the family table in name order; series within a
+// family are ordered by label signature so the exposition is deterministic
+// regardless of registration or goroutine order.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries orders one family's series by label signature.
+func (f *family) sortedSeries() []metric {
+	out := make([]metric, 0, len(f.bySig))
+	sigs := make([]string, 0, len(f.bySig))
+	for sig := range f.bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		out = append(out, f.bySig[sig])
+	}
+	return out
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders a label set as {a="x",b="y"}, with extra appended last
+// (the histogram le label); empty sets render as nothing.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat renders a float the way Prometheus expects (+Inf, not inf).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, m := range f.sortedSeries() {
+			if err := writePromSeries(w, f, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromSeries renders one series of a family.
+func writePromSeries(w io.Writer, f *family, m metric) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(v.lbls), v.Value())
+		return err
+	case *FloatCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(v.lbls), promFloat(v.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(v.lbls), v.Value())
+		return err
+	case *Histogram:
+		bounds, cum := v.Buckets()
+		for i, c := range cum {
+			le := "+Inf"
+			if i < len(bounds) {
+				le = promFloat(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, promLabels(v.lbls, L("le", le)), c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(v.lbls), promFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(v.lbls), v.Count())
+		return err
+	default:
+		return fmt.Errorf("obs: unknown metric type %T", m)
+	}
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot: the upper bound
+// (rendered as Prometheus renders le, so "+Inf" stays representable in
+// JSON) and the cumulative count at it.
+type BucketSnapshot struct {
+	UpperBound string `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// MetricSnapshot is one series frozen at snapshot time.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes every series. Ordering matches WriteProm (name, then
+// label signature). A nil registry snapshots empty.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	var out []MetricSnapshot
+	for _, f := range r.sortedFamilies() {
+		for _, m := range f.sortedSeries() {
+			s := MetricSnapshot{Name: f.name, Kind: f.kind.String()}
+			if lbls := m.labelSet(); len(lbls) > 0 {
+				s.Labels = make(map[string]string, len(lbls))
+				for _, l := range lbls {
+					s.Labels[l.Name] = l.Value
+				}
+			}
+			switch v := m.(type) {
+			case *Counter:
+				s.Value = float64(v.Value())
+			case *FloatCounter:
+				s.Value = v.Value()
+			case *Gauge:
+				s.Value = float64(v.Value())
+			case *Histogram:
+				bounds, cum := v.Buckets()
+				s.Sum = v.Sum()
+				s.Count = v.Count()
+				s.Buckets = make([]BucketSnapshot, len(cum))
+				for i, c := range cum {
+					le := "+Inf"
+					if i < len(bounds) {
+						le = promFloat(bounds[i])
+					}
+					s.Buckets[i] = BucketSnapshot{UpperBound: le, Count: c}
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}

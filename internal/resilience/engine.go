@@ -140,6 +140,7 @@ type engine struct {
 	restartCost     units.Duration // cost of the in-flight restore
 
 	observer Observer
+	metrics  *techMetrics
 	res      Result
 	done     bool
 }
@@ -161,7 +162,7 @@ func (e *engine) emit(kind TraceKind, mutate func(*TraceEvent)) {
 // event pool from a previous run (the executor reuses one Simulator across
 // a worker's trials); it is Reset here, so any simulator — fresh or used —
 // produces the same run.
-func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator) Result {
+func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator, tm *techMetrics) Result {
 	if horizon <= start {
 		panic(fmt.Sprintf("resilience: horizon %v not after start %v", horizon, start))
 	}
@@ -180,6 +181,7 @@ func runEngine(strat strategy, model *failures.Model, start, horizon units.Durat
 		interval:  strat.checkpointInterval(),
 		ckptRate:  ckptRate,
 		observer:  obs,
+		metrics:   tm,
 	}
 	e.cbSegmentEnd = func(*des.Simulator) { e.segmentEnd() }
 	e.cbCheckpointEnd = func(*des.Simulator) { e.checkpointEnd() }
@@ -203,6 +205,7 @@ func runEngine(strat strategy, model *failures.Model, start, horizon units.Durat
 		e.res.Completed = false
 		e.res.End = horizon
 	}
+	tm.observeRun(e.res)
 	return e.res
 }
 
@@ -337,6 +340,7 @@ func (e *engine) handleFailure(f failures.Failure) {
 	}
 	e.materialize()
 	e.res.Failures++
+	e.metrics.observeFailure(int(f.Severity))
 
 	resp := e.strat.onFailure(f, e.progress)
 	e.emit(TraceFailure, func(ev *TraceEvent) {
@@ -358,6 +362,9 @@ func (e *engine) handleFailure(f failures.Failure) {
 		e.res.CheckpointTime += e.sim.Now() - e.phaseStart
 	case phaseRestarting:
 		e.res.RestartTime += e.sim.Now() - e.phaseStart
+		if e.restoreLevel == 0 {
+			e.res.RelaunchTime += e.sim.Now() - e.phaseStart
+		}
 	}
 	if lost := e.progress - resp.restoreTo; lost > 0 {
 		e.res.LostWork += lost
@@ -376,6 +383,9 @@ func (e *engine) handleFailure(f failures.Failure) {
 // restartEnd fires when a restore completes and computation resumes.
 func (e *engine) restartEnd() {
 	e.res.RestartTime += e.restartCost
+	if e.restoreLevel == 0 {
+		e.res.RelaunchTime += e.restartCost
+	}
 	e.emit(TraceRestartEnd, func(ev *TraceEvent) { ev.Level = e.restoreLevel })
 	e.enterComputing()
 }

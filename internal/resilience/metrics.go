@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"fmt"
+
+	"exaresil/internal/core"
+	"exaresil/internal/des"
+	"exaresil/internal/obs"
+)
+
+// Metrics is the resilience layer's observability bundle: per-technique
+// run counts, failure counts by severity level, and the makespan time
+// split the paper's event taxonomy implies — useful work, checkpoint
+// writes, checkpoint restores, from-scratch relaunches, and rework
+// (recomputation of lost work). All series are registered eagerly at
+// construction (one fixed table per technique), so the per-event hot path
+// is an index plus an atomic add with no allocation.
+//
+// The time split doubles as a correctness oracle: cmd/exacheck's
+// conformance sweep cross-checks these counters against both the summed
+// Result fields and an independent trace-derived split (see
+// internal/check).
+type Metrics struct {
+	des     *des.Metrics
+	perTech [int(core.FullRedundancy) + 1]techMetrics
+}
+
+// techMetrics is one technique's series.
+type techMetrics struct {
+	runs, completions    *obs.Counter
+	failures, rollbacks  *obs.Counter
+	bySeverity           [4]*obs.Counter
+	useful, checkpoint   *obs.FloatCounter
+	restore, relaunch    *obs.FloatCounter
+	rework               *obs.FloatCounter
+}
+
+// TechLabel is the stable label value for a technique (CLI-style, not the
+// presentation string, so dashboards never see spaces or dots).
+func TechLabel(t core.Technique) string {
+	switch t {
+	case core.Ideal:
+		return "ideal"
+	case core.CheckpointRestart:
+		return "cr"
+	case core.MultilevelCheckpoint:
+		return "multilevel"
+	case core.ParallelRecovery:
+		return "pr"
+	case core.PartialRedundancy:
+		return "red1.5"
+	case core.FullRedundancy:
+		return "red2.0"
+	default:
+		return fmt.Sprintf("technique-%d", int(t))
+	}
+}
+
+// The phase label values of exaresil_resilience_time_minutes_total.
+const (
+	PhaseUseful     = "useful"
+	PhaseCheckpoint = "checkpoint"
+	PhaseRestore    = "restore"
+	PhaseRelaunch   = "relaunch"
+	PhaseRework     = "rework"
+)
+
+// NewMetrics registers the resilience series on r for every technique
+// (nil r yields the disabled bundle, whose hooks are no-ops).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{des: des.NewMetrics(r)}
+	for t := range m.perTech {
+		tech := obs.L("technique", TechLabel(core.Technique(t)))
+		tm := &m.perTech[t]
+		tm.runs = r.Counter("exaresil_resilience_runs_total", "executor runs", tech)
+		tm.completions = r.Counter("exaresil_resilience_completions_total", "runs that finished before their horizon", tech)
+		tm.failures = r.Counter("exaresil_resilience_failures_total", "failures striking the application", tech)
+		tm.rollbacks = r.Counter("exaresil_resilience_rollbacks_total", "failures that forced a restore", tech)
+		for sev := 1; sev <= 3; sev++ {
+			tm.bySeverity[sev] = r.Counter("exaresil_resilience_failures_by_severity_total",
+				"failures by severity level", tech, obs.L("severity", fmt.Sprintf("%d", sev)))
+		}
+		split := func(phase string) *obs.FloatCounter {
+			return r.FloatCounter("exaresil_resilience_time_minutes_total",
+				"makespan decomposition in simulated minutes", tech, obs.L("phase", phase))
+		}
+		tm.useful = split(PhaseUseful)
+		tm.checkpoint = split(PhaseCheckpoint)
+		tm.restore = split(PhaseRestore)
+		tm.relaunch = split(PhaseRelaunch)
+		tm.rework = split(PhaseRework)
+	}
+	return m
+}
+
+// forTechnique resolves the per-technique series table; nil when the
+// bundle is disabled or the technique is out of range.
+func (m *Metrics) forTechnique(t core.Technique) *techMetrics {
+	if m == nil || int(t) < 0 || int(t) >= len(m.perTech) {
+		return nil
+	}
+	return &m.perTech[t]
+}
+
+// desMetrics resolves the engine-simulator bundle.
+func (m *Metrics) desMetrics() *des.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.des
+}
+
+// observeFailure records one failure by severity.
+func (t *techMetrics) observeFailure(severity int) {
+	if t == nil {
+		return
+	}
+	if severity >= 1 && severity <= 3 {
+		t.bySeverity[severity].Inc()
+	}
+}
+
+// observeRun folds one finished run's Result into the split. Useful work
+// is the makespan residual after the accounted overheads; a blocking phase
+// still in flight at the horizon is unaccounted in both the Result and the
+// trace, so the residual definition keeps all three ledgers consistent.
+func (t *techMetrics) observeRun(res Result) {
+	if t == nil {
+		return
+	}
+	t.runs.Inc()
+	if res.Completed {
+		t.completions.Inc()
+	}
+	t.failures.Add(uint64(res.Failures))
+	t.rollbacks.Add(uint64(res.Rollbacks))
+	t.checkpoint.Add(res.CheckpointTime.Minutes())
+	t.restore.Add((res.RestartTime - res.RelaunchTime).Minutes())
+	t.relaunch.Add(res.RelaunchTime.Minutes())
+	t.rework.Add(res.ReworkTime.Minutes())
+	if useful := res.Makespan() - res.CheckpointTime - res.RestartTime - res.ReworkTime; useful > 0 {
+		t.useful.Add(useful.Minutes())
+	}
+}
+
+// SetMetrics attaches (or detaches) the bundle to the executor. Unlike
+// observers, metrics survive Clone: the series are atomic and shared, so
+// parallel trial workers aggregate into one bundle.
+func (x *executor) SetMetrics(m *Metrics) {
+	x.metrics = m
+	if x.sim != nil {
+		x.sim.SetMetrics(m.desMetrics())
+	}
+}
+
+// Instrument attaches the metrics bundle to an executor if it supports
+// instrumentation, reporting whether it did (the Ideal executor does not:
+// it has no engine to instrument).
+func Instrument(x Executor, m *Metrics) bool {
+	i, ok := x.(interface{ SetMetrics(*Metrics) })
+	if ok {
+		i.SetMetrics(m)
+	}
+	return ok
+}

@@ -42,6 +42,10 @@ type Result struct {
 	// failures, and wall time spent recomputing work already done before
 	// a failure.
 	CheckpointTime, RestartTime, ReworkTime units.Duration
+	// RelaunchTime is the subset of RestartTime spent on from-scratch
+	// relaunches (restores with no surviving checkpoint, trace level 0) as
+	// opposed to real checkpoint restores.
+	RelaunchTime units.Duration
 	// LostWork is the total work-minutes discarded by rollbacks (the
 	// rework is LostWork divided by the technique's recovery speed).
 	LostWork units.Duration

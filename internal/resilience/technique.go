@@ -80,6 +80,7 @@ type executor struct {
 	reason   string
 	ckptRate float64
 	observer Observer
+	metrics  *Metrics
 
 	// sim is the executor's private discrete-event simulator, created on
 	// first Run and reused (with its warm event pool) across sequential
@@ -109,6 +110,9 @@ func (x *executor) Clone() Executor {
 		viable:   x.viable,
 		reason:   x.reason,
 		ckptRate: x.ckptRate,
+		// Metrics are shared, not copied: the series are atomic, so every
+		// clone of a parallel study aggregates into the same bundle.
+		metrics: x.metrics,
 	}
 }
 
@@ -126,8 +130,10 @@ func (x *executor) Run(start, horizon units.Duration, src *rng.Source) Result {
 	}
 	if x.sim == nil {
 		x.sim = des.NewPooled()
+		x.sim.SetMetrics(x.metrics.desMetrics())
 	}
-	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.sim)
+	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.sim,
+		x.metrics.forTechnique(x.strat.technique()))
 }
 
 // New constructs the executor for technique t running app on the machine

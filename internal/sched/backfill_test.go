@@ -153,6 +153,78 @@ func TestBackfillInCluster(t *testing.T) {
 	}
 }
 
+// TestBackfillEdgeCases covers the degenerate mapping events table-style:
+// nothing queued, a head wider than the whole machine, an exact-fit queue,
+// and same-instant arrivals whose ordering must fall back to the ID
+// tie-break deterministically.
+func TestBackfillEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		ctx     Context
+		want    []int // exact expected Start, in order
+		noDrops bool
+	}{
+		{
+			name: "empty queue",
+			ctx:  Context{Now: 0, FreeNodes: 100},
+			want: nil,
+		},
+		{
+			name: "single job larger than the machine",
+			// 200 nodes wanted, the machine has 100 and nothing running:
+			// the head is unreachable and nothing else exists to backfill.
+			ctx:  Context{Now: 0, FreeNodes: 100, Queue: []Candidate{cand(1, 200, 0, 100, 1e6)}},
+			want: nil,
+		},
+		{
+			name: "exact fit consumes the machine",
+			// 40+60 = exactly 100 free: both start, and a third arrival
+			// behind them finds zero free nodes and cannot backfill.
+			ctx: Context{Now: 0, FreeNodes: 100, Queue: []Candidate{
+				cand(1, 40, 0, 100, 1e6),
+				cand(2, 60, 10, 100, 1e6),
+				cand(3, 1, 20, 1, 1e6),
+			}},
+			want: []int{1, 2},
+		},
+		{
+			name: "exact fit at the spare boundary",
+			// Head needs all 100 at shadow 500 (spare 0); a candidate whose
+			// baseline ends exactly AT the shadow still qualifies (<=).
+			ctx: Context{Now: 0, FreeNodes: 60, Queue: []Candidate{
+				cand(1, 100, 0, 100, 1e6),
+				cand(2, 10, 10, 500, 1e6),
+			}, Running: []Running{{Nodes: 40, ExpectedEnd: 500}}},
+			want: []int{2},
+		},
+		{
+			name: "equal arrivals tie-break by ID",
+			// Four identical candidates (same arrival, hence equal slack):
+			// byArrival must order them by ID, so with room for three the
+			// highest ID is the one left waiting.
+			ctx: Context{Now: 0, FreeNodes: 75, Queue: []Candidate{
+				cand(4, 25, 0, 100, 1000),
+				cand(2, 25, 0, 100, 1000),
+				cand(3, 25, 0, 100, 1000),
+				cand(1, 25, 0, 100, 1000),
+			}},
+			want: []int{1, 2, 3},
+		},
+	}
+	m := MustNew(core.EASYBackfill)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := m.Map(tt.ctx, rng.New(1))
+			if !slices.Equal(d.Start, tt.want) {
+				t.Errorf("Start = %v, want %v", d.Start, tt.want)
+			}
+			if len(d.Drop) != 0 {
+				t.Errorf("Drop = %v, want none (backfill extends FCFS)", d.Drop)
+			}
+		})
+	}
+}
+
 func TestBackfillNoDrops(t *testing.T) {
 	m := MustNew(core.EASYBackfill)
 	queue := []Candidate{cand(1, 10, 0, 100, 50)} // hopeless deadline

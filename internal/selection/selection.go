@@ -22,6 +22,7 @@ import (
 	"exaresil/internal/core"
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
+	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/workload"
 )
@@ -49,6 +50,10 @@ type Options struct {
 	// position in the grid, not from completion order, so the resulting
 	// table is identical for every worker count — including 1.
 	Workers int
+	// Obs, when non-nil, receives the selector's metrics: probe and cell
+	// counts, the schedule-cache activity of the table build, and Choose
+	// resolutions over the selector's lifetime.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +99,7 @@ type Selector struct {
 	fractions  []float64
 	machine    machine.Config
 	table      map[cell]Choice
+	m          *selectorMetrics
 }
 
 // NewSelector builds a selector for the given machine and failure model by
@@ -126,8 +132,10 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 		fractions:  append([]float64(nil), opts.SizeFractions...),
 		machine:    cfg,
 		table:      make(map[cell]Choice),
+		m:          newSelectorMetrics(opts.Obs),
 	}
 	sort.Float64s(s.fractions)
+	cacheHits0, cacheMisses0 := resilience.ScheduleCacheStats()
 
 	// Flatten the (class x fraction) grid; cell i's probes are numbered
 	// i*len(techniques) .. i*len(techniques)+len(techniques)-1, matching
@@ -184,6 +192,7 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 	for i, c := range cells {
 		s.table[cell{c.class.Name, c.frac}] = choices[i]
 	}
+	s.m.observeBuild(len(cells), len(opts.Techniques), cacheHits0, cacheMisses0)
 	return s, nil
 }
 
@@ -238,8 +247,10 @@ func (s *Selector) Choose(app workload.App) core.Technique {
 		}
 	}
 	if c, ok := s.table[cell{app.Class.Name, nearest}]; ok {
+		s.m.observeChoose(true)
 		return c.Best
 	}
+	s.m.observeChoose(false)
 	// Unknown class (user-defined): fall back to the paper's overall
 	// winner, Parallel Recovery, if it is a candidate.
 	for _, t := range s.techniques {

@@ -5,7 +5,9 @@
 #   1. go vet over every package
 #   2. the tier-1 verification (build + full test suite)
 #   3. the race detector over the concurrency-bearing packages
-#   4. cmd/exabench, writing BENCH_results.json at the repo root
+#   4. cmd/exabench, writing BENCH_results.json at the repo root; the
+#      fig4 vs fig4_metrics pair in that file records the obs-layer
+#      overhead (disabled hooks vs an attached registry)
 #
 # Usage: scripts/bench.sh [exabench flags...]
 # e.g.:  scripts/bench.sh -run fig4

@@ -3,7 +3,9 @@
 #
 # Runs, in order:
 #   1. go vet over every package
-#   2. the race detector over the audit harness itself
+#   2. the race detector over the audit harness, the cluster layer, and
+#      the obs metrics package (pins the seed-determinism and
+#      metrics-attachment-is-inert tests under -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
 #      schedule search, and the workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
@@ -20,8 +22,8 @@ FUZZTIME="${FUZZTIME:-10s}"
 echo "== go vet ./..."
 go vet ./...
 
-echo "== race detector on the audit harness"
-go test -race -count=1 ./internal/check/
+echo "== race detector on the audit harness, cluster layer, and metrics"
+go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/...
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
