@@ -42,8 +42,8 @@ import (
 	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
+	"exaresil/internal/selection"
 	"exaresil/internal/units"
-	"exaresil/internal/workload"
 )
 
 // benchResult is one benchmark's summary line.
@@ -132,102 +132,72 @@ func run(args []string) error {
 }
 
 // exhibitBenches mirrors the root package's bench_test.go scales so the
-// JSON numbers are comparable with `go test -bench` runs.
+// JSON numbers are comparable with `go test -bench` runs. The exhibit
+// entries resolve through the shared experiments registry — the same
+// table cmd/exasim and internal/serve dispatch from — so a renamed or
+// removed exhibit fails here instead of silently dropping its benchmark.
 func exhibitBenches() []bench {
+	reduced := experiments.Params{Trials: 10, Patterns: 2, Arrivals: 30}
+	fig5Params := reduced
+	fig5Params.Selection = selection.Options{
+		Trials:        4,
+		TimeSteps:     360,
+		SizeFractions: []float64{0.01, 0.25},
+	}
 	return []bench{
-		{"fig1", func(b *testing.B) { benchScaling(b, workload.A32, 0) }},
-		{"fig2", func(b *testing.B) { benchScaling(b, workload.D64, 0) }},
-		{"fig3", func(b *testing.B) {
-			benchScaling(b, workload.D64, units.Duration(2.5)*units.Year)
-		}},
-		{"fig4", benchFig4},
+		{"fig1", benchExhibit("fig1", reduced)},
+		{"fig2", benchExhibit("fig2", reduced)},
+		{"fig3", benchExhibit("fig3", reduced)},
+		{"fig4", benchExhibit("fig4", reduced)},
 		{"fig4_metrics", benchFig4Metrics},
-		{"fig5", benchFig5},
+		{"fig5", benchExhibit("fig5", fig5Params)},
 		{"cluster_run", benchClusterRun},
 		{"executor_run", benchExecutorRun},
 		{"multilevel_optimizer", benchMultilevelOptimizer},
 	}
 }
 
-func benchScaling(b *testing.B, class workload.Class, mtbf units.Duration) {
-	cfg := experiments.Default()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_, res, err := experiments.ScalingSpec{
-			Config: cfg,
-			Class:  class,
-			MTBF:   mtbf,
-			Trials: 10,
-		}.Run()
-		if err != nil {
-			b.Fatal(err)
+// benchExhibit benchmarks one registry exhibit at a reduced statistical
+// scale (benchmarks measure harness cost, not paper numbers).
+func benchExhibit(name string, p experiments.Params) func(b *testing.B) {
+	return func(b *testing.B) {
+		ex, ok := experiments.Lookup(name)
+		if !ok {
+			b.Fatalf("exhibit %q is not in the experiments registry", name)
 		}
-		if len(res.Points) == 0 {
-			b.Fatal("no data points")
-		}
-	}
-}
-
-func benchFig4(b *testing.B) {
-	cfg := experiments.Default()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_, res, err := experiments.ClusterSpec{
-			Config:   cfg,
-			Patterns: 2,
-			Arrivals: 30,
-		}.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(res.Cells) != 12 {
-			b.Fatalf("want 12 cells, got %d", len(res.Cells))
+		cfg := experiments.Default()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t, _, err := ex.Run(cfg, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if t.Rows() == 0 {
+				b.Fatal("empty table")
+			}
 		}
 	}
 }
 
-// benchFig4Metrics is benchFig4 with an obs registry attached: the delta
-// against fig4 is the enabled-metrics overhead, and fig4 itself (nil
+// benchFig4Metrics is the fig4 bench with an obs registry attached: the
+// delta against fig4 is the enabled-metrics overhead, and fig4 itself (nil
 // registry, hooks compiled in) tracks the disabled overhead against the
 // pre-obs baseline.
 func benchFig4Metrics(b *testing.B) {
+	ex, ok := experiments.Lookup("fig4")
+	if !ok {
+		b.Fatal("fig4 is not in the experiments registry")
+	}
 	cfg := experiments.Default()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Obs = obs.NewRegistry()
-		_, res, err := experiments.ClusterSpec{
-			Config:   cfg,
-			Patterns: 2,
-			Arrivals: 30,
-		}.Run()
+		t, _, err := ex.Run(cfg, experiments.Params{Patterns: 2, Arrivals: 30})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Cells) != 12 {
-			b.Fatalf("want 12 cells, got %d", len(res.Cells))
-		}
-	}
-}
-
-func benchFig5(b *testing.B) {
-	cfg := experiments.Default()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_, res, err := experiments.SelectionSpec{
-			Config:   cfg,
-			Patterns: 2,
-			Arrivals: 30,
-			Selection: exaresil.SelectorOptions{
-				Trials:        4,
-				TimeSteps:     360,
-				SizeFractions: []float64{0.01, 0.25},
-			},
-		}.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(res.Cells) == 0 {
-			b.Fatal("no cells")
+		if t.Rows() == 0 {
+			b.Fatal("empty table")
 		}
 	}
 }

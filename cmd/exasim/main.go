@@ -29,9 +29,14 @@
 //
 // Profiles are analyzed with the standard toolchain, e.g.
 // `go tool pprof exasim cpu.out`.
+//
+// The whole invocation is validated before any exhibit runs: unknown
+// exhibit names, non-positive -trials/-patterns, and -metrics paths with
+// an unsupported extension are usage errors and exit 2 immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,13 +49,42 @@ import (
 	"exaresil/internal/experiments"
 	"exaresil/internal/obs"
 	"exaresil/internal/report"
-	"exaresil/internal/selection"
 )
+
+// usageError marks a command-line mistake caught before any work starts:
+// the process exits 2 with a usage hint instead of failing mid-run.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "exasim: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintf(os.Stderr, "usage: exasim [flags] <exhibit>...\nrun 'exasim -h' for flag help\n")
+			os.Exit(2)
+		}
 		os.Exit(1)
+	}
+}
+
+// validMetricsPath reports whether -metrics points somewhere writeMetrics
+// understands: stdout ("-"), a JSON snapshot (.json), or the Prometheus
+// text exposition format (.prom, .txt, or no extension).
+func validMetricsPath(path string) bool {
+	if path == "-" {
+		return true
+	}
+	switch filepath.Ext(path) {
+	case "", ".json", ".prom", ".txt":
+		return true
+	default:
+		return false
 	}
 }
 
@@ -67,6 +101,26 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate the whole invocation before any exhibit runs: a typo in the
+	// last exhibit name must not cost a full regeneration of the first.
+	if *trials <= 0 {
+		return usagef("-trials must be positive, got %d", *trials)
+	}
+	if *patterns <= 0 {
+		return usagef("-patterns must be positive, got %d", *patterns)
+	}
+	if *workers < 0 {
+		return usagef("-workers must be non-negative, got %d", *workers)
+	}
+	if *metricsPath != "" && !validMetricsPath(*metricsPath) {
+		return usagef("-metrics %s: unsupported extension %s (want .json, .prom, .txt, no extension, or -)",
+			*metricsPath, filepath.Ext(*metricsPath))
+	}
+	expanded, err := experiments.ExpandNames(fs.Args())
+	if err != nil {
+		return usageError{msg: err.Error()}
 	}
 
 	if *cpuProfile != "" {
@@ -102,22 +156,6 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	if *metricsPath != "" {
 		cfg.Obs = obs.NewRegistry()
-	}
-
-	exhibits := fs.Args()
-	if len(exhibits) == 0 {
-		exhibits = []string{"all"}
-	}
-	var expanded []string
-	for _, e := range exhibits {
-		switch e {
-		case "all":
-			expanded = append(expanded, "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5")
-		case "ext-all":
-			expanded = append(expanded, "ext-energy", "ext-mtbf", "ext-weibull", "ext-backfill", "ext-selectors", "ext-tau", "ext-semiblocking", "ext-machines", "policy")
-		default:
-			expanded = append(expanded, e)
-		}
 	}
 
 	for _, name := range expanded {
@@ -225,59 +263,25 @@ func clusterChart(res experiments.ClusterResult) *report.BarChart {
 	return c
 }
 
-// exhibit dispatches one exhibit name to its experiment driver. The chart
-// is non-nil for exhibits with a natural bar rendering.
+// exhibit resolves one exhibit name through the shared registry and builds
+// its chart. The chart is non-nil for exhibits with a natural bar
+// rendering.
 func exhibit(name string, cfg experiments.Config, trials, patterns int) (*report.Table, *report.BarChart, error) {
-	switch name {
-	case "table1":
-		return experiments.TableI(), nil, nil
-	case "table2":
-		t, err := experiments.TableII(cfg)
-		return t, nil, err
-	case "fig1":
-		t, res, err := experiments.Figure1(cfg, trials)
-		return t, scalingChart(res), err
-	case "fig2":
-		t, res, err := experiments.Figure2(cfg, trials)
-		return t, scalingChart(res), err
-	case "fig3":
-		t, res, err := experiments.Figure3(cfg, trials)
-		return t, scalingChart(res), err
-	case "fig4":
-		t, res, err := experiments.Figure4(cfg, patterns)
-		return t, clusterChart(res), err
-	case "fig5":
-		t, _, err := experiments.Figure5(cfg, patterns)
-		return t, nil, err
-	case "ext-energy":
-		t, _, err := experiments.EnergySpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "ext-mtbf":
-		t, _, err := experiments.MTBFSweepSpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "ext-weibull":
-		t, _, err := experiments.WeibullSpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "ext-backfill":
-		t, res, err := experiments.BackfillSpec{Config: cfg, Patterns: patterns}.Run()
-		return t, clusterChart(res), err
-	case "ext-selectors":
-		t, _, err := experiments.SelectorAgreementSpec{Config: cfg, Patterns: patterns}.Run()
-		return t, nil, err
-	case "ext-tau":
-		t, _, err := experiments.TauSweepSpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "ext-semiblocking":
-		t, _, err := experiments.SemiBlockingSpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "ext-machines":
-		t, _, err := experiments.MachinesSpec{Config: cfg, Trials: trials}.Run()
-		return t, nil, err
-	case "policy":
-		t, err := experiments.PolicyTable(cfg, selection.Options{Trials: trials / 4})
-		return t, nil, err
+	ex, ok := experiments.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown exhibit %q", name)
+	}
+	t, res, err := ex.Run(cfg, experiments.Params{Trials: trials, Patterns: patterns})
+	if err != nil {
+		return nil, nil, err
+	}
+	switch ex.Chart {
+	case experiments.ChartScaling:
+		return t, scalingChart(res.(experiments.ScalingResult)), nil
+	case experiments.ChartCluster:
+		return t, clusterChart(res.(experiments.ClusterResult)), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown exhibit %q (want table1, table2, fig1..fig5, all, ext-energy, ext-mtbf, ext-weibull, ext-backfill, ext-selectors, ext-tau, or ext-all)", name)
+		return t, nil, nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +29,41 @@ func TestExhibitDispatchKnowsEveryName(t *testing.T) {
 func TestRunUnknownExhibit(t *testing.T) {
 	if err := run([]string{"nonsense"}); err == nil {
 		t.Error("unknown exhibit should error")
+	}
+}
+
+// TestRunValidationIsUpfront: every flag-combination mistake is caught as a
+// usageError (exit 2) before any simulation work starts.
+func TestRunValidationIsUpfront(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"unknown exhibit", []string{"fig9"}, "unknown exhibit"},
+		{"unknown exhibit among valid", []string{"fig1", "fig9"}, "unknown exhibit"},
+		{"zero trials", []string{"-trials", "0", "fig1"}, "-trials"},
+		{"negative patterns", []string{"-patterns", "-3", "fig4"}, "-patterns"},
+		{"negative workers", []string{"-workers", "-1", "fig1"}, "-workers"},
+		{"bad metrics extension", []string{"-metrics", "out.csv", "fig1"}, "-metrics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.argv)
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("run(%v) = %v, want a usageError", tc.argv, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error %q, want it to mention %q", tc.argv, err, tc.want)
+			}
+		})
+	}
+	// Valid metrics spellings pass the same gate.
+	for _, p := range []string{"-", "", "m.json", "m.prom", "m.txt"} {
+		if !validMetricsPath(p) {
+			t.Errorf("validMetricsPath(%q) = false, want true", p)
+		}
 	}
 }
 

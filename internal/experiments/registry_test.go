@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesUniqueAndGrouped(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Exhibits() {
+		if seen[e.Name] {
+			t.Errorf("duplicate exhibit name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Group != "paper" && e.Group != "ext" {
+			t.Errorf("%s: unknown group %q", e.Name, e.Group)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil runner", e.Name)
+		}
+	}
+	for _, g := range GroupNames() {
+		if seen[g] {
+			t.Errorf("group alias %q collides with an exhibit name", g)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Names lists %q but Lookup misses it", name)
+		}
+	}
+	if _, ok := Lookup("fig9"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+	if _, ok := Lookup("all"); ok {
+		t.Error("group aliases must not resolve as exhibits")
+	}
+}
+
+func TestExpandNames(t *testing.T) {
+	all, err := ExpandNames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5"}
+	if len(all) != len(want) {
+		t.Fatalf("empty list expanded to %v, want %v", all, want)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("empty list expanded to %v, want %v", all, want)
+		}
+	}
+
+	ext, err := ExpandNames([]string{"ext-all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 9 || ext[0] != "ext-energy" || ext[len(ext)-1] != "policy" {
+		t.Fatalf("ext-all expanded to %v", ext)
+	}
+
+	mixed, err := ExpandNames([]string{"fig4", "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed[0] != "fig4" || len(mixed) != 1+len(want) {
+		t.Fatalf("mixed expansion %v", mixed)
+	}
+
+	if _, err := ExpandNames([]string{"fig1", "fig9"}); err == nil {
+		t.Error("unknown name accepted")
+	} else if !strings.Contains(err.Error(), "fig9") {
+		t.Errorf("error does not name the bad exhibit: %v", err)
+	}
+}
+
+// TestRegistryRunMatchesDirectDrivers pins the registry's plumbing: running
+// an exhibit through the table must render exactly what the driver renders
+// when invoked directly with the same parameters.
+func TestRegistryRunMatchesDirectDrivers(t *testing.T) {
+	cfg := Default()
+
+	ex, ok := Lookup("fig1")
+	if !ok {
+		t.Fatal("fig1 missing")
+	}
+	got, res, err := ex.Run(cfg, Params{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isScaling := res.(ScalingResult); !isScaling {
+		t.Fatalf("fig1 result has type %T, want ScalingResult", res)
+	}
+	want, _, err := Figure1(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("registry fig1 diverges from Figure1")
+	}
+
+	ex, _ = Lookup("table2")
+	gotT, _, err := ex.Run(cfg, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, err := TableII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT.String() != wantT.String() {
+		t.Error("registry table2 diverges from TableII")
+	}
+}
+
+func TestRegistryChartKinds(t *testing.T) {
+	wantCharts := map[string]ChartKind{
+		"fig1": ChartScaling, "fig2": ChartScaling, "fig3": ChartScaling,
+		"fig4": ChartCluster, "ext-backfill": ChartCluster,
+		"table1": ChartNone, "fig5": ChartNone,
+	}
+	for name, want := range wantCharts {
+		ex, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if ex.Chart != want {
+			t.Errorf("%s chart kind %d, want %d", name, ex.Chart, want)
+		}
+	}
+}

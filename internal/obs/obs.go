@@ -79,6 +79,9 @@ var (
 	FractionBuckets = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}
 	// MinuteBuckets covers simulated durations from a minute to a year.
 	MinuteBuckets = []float64{1, 10, 60, 240, 1440, 10080, 43200, 525600}
+	// LatencyBuckets covers wall-clock seconds from sub-millisecond HTTP
+	// handling to multi-minute experiment jobs (internal/serve).
+	LatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10, 60, 300}
 )
 
 // metric is the interface shared by all series stored in a family.

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The admission errors the pool can return.
+var (
+	// ErrSaturated: the target shard's queue is full. The HTTP layer maps
+	// this to 429 with a Retry-After estimate.
+	ErrSaturated = errors.New("serve: queue saturated")
+	// ErrDraining: the pool stopped accepting work for shutdown. Mapped
+	// to 503.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Pool is the bounded, sharded worker pool. Each worker owns one shard —
+// a buffered channel of flights — and flights are routed to shards by
+// cache-key hash, so a given spec always queues behind the same worker and
+// the shards need no cross-worker stealing or locking. Admission is a
+// non-blocking send: a full shard rejects immediately (backpressure)
+// instead of queueing without bound.
+type Pool struct {
+	shards []chan *flight
+	depth  int // per-shard queue capacity
+	exec   func(*flight)
+	wg     sync.WaitGroup
+	// mu serializes admission against drain: submit sends while holding
+	// the read side, drain flips draining and closes the shards under the
+	// write side, so a send can never hit a closed channel.
+	mu       sync.RWMutex
+	draining bool
+	m        *Metrics
+}
+
+// newPool builds a pool of `workers` shards with `queueDepth` total queue
+// slots spread across them (at least one per shard).
+func newPool(workers, queueDepth int, exec func(*flight), m *Metrics) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 2 * workers
+	}
+	depth := queueDepth / workers
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{
+		shards: make([]chan *flight, workers),
+		depth:  depth,
+		exec:   exec,
+		m:      m,
+	}
+	for i := range p.shards {
+		p.shards[i] = make(chan *flight, depth)
+	}
+	return p
+}
+
+// start launches one worker goroutine per shard.
+func (p *Pool) start() {
+	for i := range p.shards {
+		p.wg.Add(1)
+		go func(shard int) {
+			defer p.wg.Done()
+			for fl := range p.shards[shard] {
+				p.m.QueueDepth(shard).Add(-1)
+				p.exec(fl)
+			}
+		}(i)
+	}
+}
+
+// submit routes a flight to its shard. It never blocks.
+func (p *Pool) submit(fl *flight) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.shards[fl.shard] <- fl:
+		p.m.QueueDepth(fl.shard).Add(1)
+		return nil
+	default:
+		p.m.QueueRejected.Inc()
+		return ErrSaturated
+	}
+}
+
+// workers reports the pool width.
+func (p *Pool) workers() int { return len(p.shards) }
+
+// queueCapacity reports the total queue slots across shards.
+func (p *Pool) queueCapacity() int { return p.depth * len(p.shards) }
+
+// queued reports the flights currently waiting across all shards.
+func (p *Pool) queued() int {
+	n := 0
+	for _, ch := range p.shards {
+		n += len(ch)
+	}
+	return n
+}
+
+// drain stops admission, closes the shards, and waits for every queued and
+// running flight to finish — no in-flight job is dropped. It fails only if
+// ctx expires first.
+func (p *Pool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return nil
+	}
+	p.draining = true
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with %d flights still queued: %w", p.queued(), ctx.Err())
+	}
+}

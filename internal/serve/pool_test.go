@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolBackpressure: with one worker and one queue slot, the third
+// concurrent flight is rejected with ErrSaturated, never blocked.
+func TestPoolBackpressure(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p := newPool(1, 1, func(fl *flight) {
+		started <- struct{}{}
+		<-release
+	}, NewMetrics(nil))
+	p.start()
+	defer close(release)
+
+	if err := p.submit(&flight{key: "a"}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker holds flight a; the queue slot is free again
+	if err := p.submit(&flight{key: "b"}); err != nil {
+		t.Fatalf("second submit (queued): %v", err)
+	}
+	if err := p.submit(&flight{key: "c"}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third submit: got %v, want ErrSaturated", err)
+	}
+	if got := p.queued(); got != 1 {
+		t.Errorf("queued = %d, want 1", got)
+	}
+	release <- struct{}{}
+	<-started // worker moved on to flight b
+}
+
+// TestPoolDrainFinishesQueuedWork: drain waits for both the running and the
+// queued flight — nothing in flight is dropped — and later submissions are
+// refused with ErrDraining.
+func TestPoolDrainFinishesQueuedWork(t *testing.T) {
+	var mu sync.Mutex
+	var ran []string
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	p := newPool(1, 2, func(fl *flight) {
+		started <- struct{}{}
+		<-release
+		mu.Lock()
+		ran = append(ran, fl.key)
+		mu.Unlock()
+	}, NewMetrics(nil))
+	p.start()
+
+	if err := p.submit(&flight{key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := p.submit(&flight{key: "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- p.drain(context.Background()) }()
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 2 {
+		t.Fatalf("drain dropped flights: ran %v, want [a b]", ran)
+	}
+	if err := p.submit(&flight{key: "c"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: got %v, want ErrDraining", err)
+	}
+}
+
+// TestPoolDrainTimeout: a drain whose context expires reports the error
+// instead of hanging.
+func TestPoolDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	p := newPool(1, 1, func(fl *flight) {
+		started <- struct{}{}
+		<-release
+	}, NewMetrics(nil))
+	p.start()
+	if err := p.submit(&flight{key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: got %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestShardOfStable: a key always routes to the same shard, and the shard
+// index stays in range for any pool width.
+func TestShardOfStable(t *testing.T) {
+	keys := []string{"", "a", "fig4", Spec{Exhibit: "fig1"}.Key()}
+	for _, k := range keys {
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			first := shardOf(k, shards)
+			if first < 0 || first >= shards {
+				t.Fatalf("shardOf(%q, %d) = %d out of range", k, shards, first)
+			}
+			if again := shardOf(k, shards); again != first {
+				t.Fatalf("shardOf(%q, %d) unstable: %d then %d", k, shards, first, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"exaresil/internal/experiments"
+	"exaresil/internal/obs"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Experiments is the per-job experiment configuration (machine, seed,
+	// intra-job Workers). The zero value means experiments.Default() with
+	// one worker per job: the pool's width, not intra-job fan-out, is the
+	// service's parallelism control.
+	Experiments experiments.Config
+	// Workers is the worker-pool width (default 1 — one shard per worker).
+	Workers int
+	// QueueDepth is the total queued-flight bound across shards (default
+	// 2x workers). A full shard rejects with 429.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache (default 128 results).
+	CacheSize int
+	// StoreSize bounds job retention (default 1024; only terminal jobs
+	// are evicted).
+	StoreSize int
+	// JobTimeout bounds one execution (0 = no timeout). A timed-out
+	// flight fails its jobs and detaches the still-running simulation.
+	JobTimeout time.Duration
+	// Obs receives the service metric families; GET /metrics exposes the
+	// whole registry. Nil disables both.
+	Obs *obs.Registry
+	// Runner executes one spec (nil = the experiments registry). Tests
+	// substitute controllable runners; the context is canceled on per-job
+	// timeout or when every subscribed job is canceled.
+	Runner func(ctx context.Context, cfg experiments.Config, s Spec) (*Result, error)
+}
+
+// Server is the simulation service: HTTP codec on top of store + cache +
+// pool. Create with New, mount Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	m        *Metrics
+	store    *Store
+	cache    *Cache
+	pool     *Pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+	ewmaBits atomic.Uint64 // EWMA of execution seconds, for Retry-After
+}
+
+// New validates the configuration, starts the worker pool, and returns a
+// ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Experiments.Machine.Name == "" {
+		def := experiments.Default()
+		if cfg.Experiments.Seed != 0 {
+			def.Seed = cfg.Experiments.Seed
+		}
+		def.Workers = cfg.Experiments.Workers
+		def.Obs = cfg.Experiments.Obs
+		cfg.Experiments = def
+	}
+	if cfg.Experiments.Workers <= 0 {
+		cfg.Experiments.Workers = 1
+	}
+	if err := cfg.Experiments.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: experiments config: %w", err)
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = func(_ context.Context, ecfg experiments.Config, s Spec) (*Result, error) {
+			return runSpec(ecfg, s)
+		}
+	}
+	s := &Server{cfg: cfg, m: NewMetrics(cfg.Obs)}
+	s.store = newStore(cfg.StoreSize, s.m)
+	s.cache = newCache(cfg.CacheSize, s.m)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execFlight, s.m)
+	for shard := 0; shard < s.pool.workers(); shard++ {
+		s.m.QueueDepth(shard).Set(0) // register the series before traffic
+	}
+	s.pool.start()
+	s.routes()
+	return s, nil
+}
+
+// Handler is the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admission (submissions return 503) and waits until every
+// queued and running flight has settled, or until ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.drain(ctx)
+}
+
+// routes mounts the API.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	s.mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
+	s.mux.Handle("GET /v1/jobs/{id}/table", s.instrument("table", s.handleTable))
+	s.mux.Handle("GET /v1/exhibits", s.instrument("exhibits", s.handleExhibits))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
+}
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram for one route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.m.Request(route, rec.code, time.Since(start).Seconds())
+	})
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one spec: cache hit, join of an identical in-flight
+// spec, or a freshly queued flight — or 429/503 under pressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	now := time.Now()
+	res, fl, created, err := s.cache.acquire(spec, s.pool.workers(), s.pool.submit)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "queue full (%d slots); retry later", s.pool.queueCapacity())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.m.Submitted.Inc()
+
+	if res != nil { // cache hit: the job is born done
+		j := s.store.newJob(spec, CacheHit, nil, now)
+		j.finish(StateDone, res, "", now)
+		s.m.JobsDone.Inc()
+		w.Header().Set("Location", "/v1/jobs/"+j.ID())
+		writeJSON(w, http.StatusOK, j.View())
+		return
+	}
+
+	cacheStatus := CacheJoined
+	if created {
+		cacheStatus = CacheMiss
+	}
+	j := s.store.newJob(spec, cacheStatus, fl, now)
+	if fl.attach(j, now) {
+		// The flight finished between acquire and attach: settle from its
+		// outcome directly.
+		fres, ferr := fl.outcome()
+		if ferr != nil {
+			j.finish(StateFailed, nil, ferr.Error(), now)
+			s.m.JobsFailed.Inc()
+		} else {
+			j.finish(StateDone, fres, "", now)
+			s.m.JobsDone.Inc()
+		}
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// handleJob is the poll endpoint.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleCancel terminates one job. When it was the last live subscriber of
+// its flight, the flight itself is aborted (dequeued or its context
+// canceled) and the cache entry removed.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if !j.finish(StateCanceled, nil, "canceled by client", time.Now()) {
+		writeError(w, http.StatusConflict, "job is already %s", j.State())
+		return
+	}
+	s.m.JobsCanceled.Inc()
+	if j.flight != nil {
+		switch j.flight.detach() {
+		case detachAborted, detachStopped:
+			s.cache.forget(j.flight)
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleResult serves the finished job's CSV bytes — byte-identical to
+// `exasim -csv` output for the same spec.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job is %s, not done", j.State())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("X-Exaresil-Digest", res.Digest)
+	_, _ = w.Write(res.CSV)
+}
+
+// handleTable serves the finished job's rendered ASCII table.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job is %s, not done", j.State())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprint(w, res.Text)
+}
+
+// exhibitInfo is one row of GET /v1/exhibits.
+type exhibitInfo struct {
+	Name  string `json:"name"`
+	Group string `json:"group"`
+}
+
+// handleExhibits lists the runnable exhibit names from the shared
+// registry.
+func (s *Server) handleExhibits(w http.ResponseWriter, r *http.Request) {
+	var out []exhibitInfo
+	for _, e := range experiments.Exhibits() {
+		out = append(out, exhibitInfo{Name: e.Name, Group: e.Group})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Exhibits []exhibitInfo `json:"exhibits"`
+	}{out})
+}
+
+// handleMetrics exposes the obs registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		writeError(w, http.StatusNotFound, "metrics are disabled (no registry configured)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Obs.WriteProm(w)
+}
+
+// healthView is the GET /healthz body.
+type healthView struct {
+	Status        string `json:"status"`
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Queued        int    `json:"queued"`
+	Jobs          int    `json:"jobs"`
+	CacheEntries  int    `json:"cache_entries"`
+}
+
+// handleHealth reports liveness and the coarse pressure numbers a load
+// balancer or smoke test wants.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthView{
+		Status:        status,
+		Workers:       s.pool.workers(),
+		QueueCapacity: s.pool.queueCapacity(),
+		Queued:        s.pool.queued(),
+		Jobs:          s.store.size(),
+		CacheEntries:  s.cache.size(),
+	})
+}
+
+// execFlight runs one flight on a worker: start the runner in a child
+// goroutine and wait for it, the per-job timeout, or last-subscriber
+// cancellation — whichever comes first. A detached runner (timeout or
+// cancel won the select) keeps simulating until it returns, but its
+// result is discarded and the worker moves on; the abandoned counter
+// makes that visible.
+func (s *Server) execFlight(fl *flight) {
+	now := time.Now()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	defer cancel()
+	if !fl.begin(cancel, now) {
+		return // every subscriber canceled while queued; already forgotten
+	}
+	s.m.JobsInflight.Add(1)
+	defer s.m.JobsInflight.Add(-1)
+	s.m.Executions.Inc()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		res, err := s.cfg.Runner(ctx, s.cfg.Experiments, fl.spec)
+		ch <- outcome{res, err}
+	}()
+
+	select {
+	case o := <-ch:
+		secs := time.Since(start).Seconds()
+		s.m.JobSeconds.Observe(secs)
+		s.noteJobSeconds(secs)
+		if o.err != nil {
+			s.cache.forget(fl)
+			n := fl.settle(StateFailed, nil, o.err, "run: "+o.err.Error(), time.Now())
+			s.m.JobsFailed.Add(uint64(n))
+		} else {
+			s.cache.complete(fl, o.res)
+			n := fl.settle(StateDone, o.res, nil, "", time.Now())
+			s.m.JobsDone.Add(uint64(n))
+		}
+	case <-ctx.Done():
+		s.m.JobsAbandoned.Inc()
+		s.cache.forget(fl)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			n := fl.settle(StateFailed, nil, ctx.Err(),
+				fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout), time.Now())
+			s.m.JobsFailed.Add(uint64(n))
+		} else {
+			// Last subscriber canceled mid-run; its job is already
+			// terminal, so this usually transitions nothing.
+			n := fl.settle(StateCanceled, nil, ctx.Err(), "canceled", time.Now())
+			s.m.JobsCanceled.Add(uint64(n))
+		}
+	}
+}
+
+// noteJobSeconds folds one execution time into the EWMA behind
+// Retry-After.
+func (s *Server) noteJobSeconds(secs float64) {
+	const alpha = 0.2
+	for {
+		old := s.ewmaBits.Load()
+		prev := math.Float64frombits(old)
+		next := secs
+		if old != 0 {
+			next = (1-alpha)*prev + alpha*secs
+		}
+		if s.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a rejected client should try again:
+// the queued work divided by the pool width, paced by the average
+// execution time, clamped to [1, 120] seconds.
+func (s *Server) retryAfterSeconds() int {
+	avg := math.Float64frombits(s.ewmaBits.Load())
+	if avg <= 0 {
+		avg = 1
+	}
+	est := int(math.Ceil(avg * float64(s.pool.queued()+1) / float64(s.pool.workers())))
+	if est < 1 {
+		est = 1
+	}
+	if est > 120 {
+		est = 120
+	}
+	return est
+}

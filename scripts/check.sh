@@ -3,9 +3,11 @@
 #
 # Runs, in order:
 #   1. go vet over every package
-#   2. the race detector over the audit harness, the cluster layer, and
-#      the obs metrics package (pins the seed-determinism and
-#      metrics-attachment-is-inert tests under -race)
+#   2. the race detector over the audit harness, the cluster layer, the
+#      obs metrics package, the shared experiments registry, and the
+#      exaserve service layer (pins the seed-determinism,
+#      metrics-attachment-is-inert, and single-flight/backpressure tests
+#      under -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
 #      schedule search, and the workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
@@ -22,8 +24,9 @@ FUZZTIME="${FUZZTIME:-10s}"
 echo "== go vet ./..."
 go vet ./...
 
-echo "== race detector on the audit harness, cluster layer, and metrics"
-go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/...
+echo "== race detector on the audit harness, cluster layer, metrics, registry, and service"
+go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
+	./internal/experiments/ ./internal/serve/...
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"

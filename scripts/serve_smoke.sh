@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the exaserve HTTP service.
+#
+# Boots exaserve on an ephemeral port, submits the reduced fig4 spec that
+# the golden manifest pins, polls the job to completion, and verifies the
+# served CSV byte-for-byte against results/golden/fig4.csv (and its
+# sha256 against the manifest). Then proves a resubmission is a cache
+# hit, sanity-checks /metrics, and exercises the SIGTERM drain path.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:${PORT}"
+LOG=$(mktemp)
+BIN=$(mktemp -u)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$LOG" "$BIN"
+}
+trap cleanup EXIT
+
+echo "== building exaserve"
+go build -o "$BIN" ./cmd/exaserve
+
+echo "== booting on ${ADDR}"
+"$BIN" -addr "$ADDR" -workers 2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during boot:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "http://${ADDR}/healthz" >/dev/null || { echo "server never became healthy"; cat "$LOG"; exit 1; }
+
+echo "== submitting reduced fig4 spec"
+SUBMIT=$(curl -fsS -d '{"exhibit":"fig4","patterns":6}' "http://${ADDR}/v1/jobs")
+JOB=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$JOB" ] || { echo "no job id in response: $SUBMIT"; exit 1; }
+echo "   job $JOB"
+
+echo "== polling to completion"
+STATE=""
+for _ in $(seq 1 600); do
+  VIEW=$(curl -fsS "http://${ADDR}/v1/jobs/${JOB}")
+  STATE=$(printf '%s' "$VIEW" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n 1)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "job ended ${STATE}: ${VIEW}"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || { echo "job stuck in state '${STATE}'"; exit 1; }
+
+echo "== verifying the served result against the golden fig4 exhibit"
+CSV=$(mktemp)
+curl -fsS "http://${ADDR}/v1/jobs/${JOB}/result" -o "$CSV"
+WANT=$(awk '$2 == "fig4" {print $1}' results/golden/manifest.txt)
+GOT=$(sha256sum "$CSV" | awk '{print $1}')
+if [ "$GOT" != "$WANT" ]; then
+  echo "digest mismatch: served ${GOT}, manifest pins ${WANT}"; rm -f "$CSV"; exit 1
+fi
+cmp -s "$CSV" results/golden/fig4.csv || { echo "served CSV differs from results/golden/fig4.csv"; rm -f "$CSV"; exit 1; }
+rm -f "$CSV"
+echo "   sha256 ${GOT} matches the manifest; CSV byte-identical to the golden fixture"
+
+echo "== resubmission must be a cache hit"
+HIT=$(curl -fsS -d '{"exhibit":"fig4","patterns":6}' "http://${ADDR}/v1/jobs")
+printf '%s' "$HIT" | grep -q '"cache": *"hit"' || { echo "resubmission was not a cache hit: $HIT"; exit 1; }
+
+echo "== /metrics sanity"
+METRICS=$(curl -fsS "http://${ADDR}/metrics")
+for series in exaresil_serve_jobs_total exaresil_serve_cache_requests_total \
+              exaresil_serve_queue_depth exaresil_serve_job_seconds_bucket \
+              exaresil_serve_http_requests_total; do
+  printf '%s' "$METRICS" | grep -q "$series" || { echo "/metrics missing ${series}"; exit 1; }
+done
+
+echo "== SIGTERM drain"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then echo "server did not drain within 10s"; exit 1; fi
+if ! wait "$SERVER_PID"; then echo "server exited non-zero:"; cat "$LOG"; exit 1; fi
+SERVER_PID=""
+grep -q "drained" "$LOG" || { echo "no drain log line:"; cat "$LOG"; exit 1; }
+
+echo "serve smoke OK"
