@@ -35,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"exaresil"
@@ -150,6 +151,7 @@ func exhibitBenches() []bench {
 		{"fig3", benchExhibit("fig3", reduced)},
 		{"fig4", benchExhibit("fig4", reduced)},
 		{"fig4_metrics", benchFig4Metrics},
+		{"fig4_resume", benchFig4Resume},
 		{"fig5", benchExhibit("fig5", fig5Params)},
 		{"cluster_run", benchClusterRun},
 		{"executor_run", benchExecutorRun},
@@ -193,6 +195,47 @@ func benchFig4Metrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Obs = obs.NewRegistry()
 		t, _, err := ex.Run(cfg, experiments.Params{Patterns: 2, Arrivals: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// benchFig4Resume measures a checkpoint-resumed fig4 run: one fresh pass
+// captures every grid cell through the Progress hook, then the timed loop
+// replays runs with all but two cells restored. The delta against the
+// adjacent fig4 entry is what a near-complete resume saves — the service's
+// payoff for snapshotting interrupted jobs (DESIGN.md §10).
+func benchFig4Resume(b *testing.B) {
+	ex, ok := experiments.Lookup("fig4")
+	if !ok {
+		b.Fatal("fig4 is not in the experiments registry")
+	}
+	p := experiments.Params{Patterns: 2, Arrivals: 30}
+	cfg := experiments.Default()
+
+	var mu sync.Mutex
+	cells := map[int][]float64{}
+	cfg.Progress = &experiments.Progress{OnCell: func(cell int, values []float64) {
+		mu.Lock()
+		cells[cell] = values
+		mu.Unlock()
+	}}
+	if _, _, err := ex.Run(cfg, p); err != nil {
+		b.Fatal(err)
+	}
+	for cell := 0; cell < 2; cell++ { // leave a little real work in the loop
+		delete(cells, cell)
+	}
+	cfg.Progress = &experiments.Progress{Completed: cells}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _, err := ex.Run(cfg, p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,13 @@
 //
 // SIGINT/SIGTERM drains: admission stops (503), every queued and running
 // job finishes, then the listener closes.
+//
+// The -chaos flag arms the internal/chaos fault injector: seeded random
+// latency, synthetic 500s, connection resets, and mid-job worker crashes,
+// tuned by the -chaos-* flags and counted in
+// exaresil_chaos_injected_total{fault=...}. Crashed jobs fail but leave a
+// checkpoint snapshot behind; resubmitting the same spec resumes from it
+// (see DESIGN.md §10 and scripts/chaos_soak.sh).
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"exaresil/internal/chaos"
 	"exaresil/internal/experiments"
 	"exaresil/internal/obs"
 	"exaresil/internal/serve"
@@ -50,6 +58,15 @@ func run(argv []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight jobs on shutdown")
 	simWorkers := fs.Int("sim-workers", 1, "simulation workers inside each job (results are identical at any width)")
 	seed := fs.Uint64("seed", 0, "base experiment seed override (0 = paper default; per-spec seeds still apply)")
+	snapshots := fs.Int("snapshots", 0, "checkpoint snapshots retained for interrupted jobs (0 = 64)")
+	chaosOn := fs.Bool("chaos", false, "arm the fault injector (see the chaos-* flags)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "chaos decision-stream seed")
+	chaosLatencyRate := fs.Float64("chaos-latency-rate", 0.1, "fraction of requests delayed")
+	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "injected request delay")
+	chaosErrorRate := fs.Float64("chaos-error-rate", 0.05, "fraction of requests answered with a synthetic 500")
+	chaosResetRate := fs.Float64("chaos-reset-rate", 0.05, "fraction of requests whose connection is reset")
+	chaosCrashRate := fs.Float64("chaos-crash-rate", 0.2, "fraction of job executions crashed mid-run")
+	chaosCrashCells := fs.Int("chaos-crash-cells", 3, "max grid cells a crashed execution completes first")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -63,24 +80,55 @@ func run(argv []string) error {
 		ecfg.Seed = *seed
 	}
 	ecfg.Workers = *simWorkers
-	srv, err := serve.New(serve.Config{
-		Experiments: ecfg,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheSize:   *cacheSize,
-		StoreSize:   *storeSize,
-		JobTimeout:  *jobTimeout,
-		Obs:         reg,
-	})
+
+	var inj *chaos.Injector
+	if *chaosOn {
+		var err error
+		inj, err = chaos.New(chaos.Config{
+			Seed:        *chaosSeed,
+			LatencyRate: *chaosLatencyRate,
+			Latency:     *chaosLatency,
+			ErrorRate:   *chaosErrorRate,
+			ResetRate:   *chaosResetRate,
+			CrashRate:   *chaosCrashRate,
+			CrashCells:  *chaosCrashCells,
+		}, reg)
+		if err != nil {
+			return err
+		}
+	}
+
+	scfg := serve.Config{
+		Experiments:  ecfg,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		StoreSize:    *storeSize,
+		JobTimeout:   *jobTimeout,
+		SnapshotSize: *snapshots,
+		Obs:          reg,
+	}
+	if inj != nil {
+		scfg.CrashHook = inj.Crash
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		return err
+	}
+
+	handler := http.Handler(srv.Handler())
+	if inj != nil {
+		handler = inj.Middleware(handler)
+		log.Printf("exaserve: chaos armed (seed %d: latency %.0f%%/%s, error %.0f%%, reset %.0f%%, crash %.0f%% after <=%d cells)",
+			*chaosSeed, 100**chaosLatencyRate, *chaosLatency, 100**chaosErrorRate, 100**chaosResetRate,
+			100**chaosCrashRate, *chaosCrashCells)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	log.Printf("exaserve: listening on http://%s (%d workers, %d queue slots)",
 		ln.Addr(), *workers, max(*queue, 2**workers))
 

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"exaresil/internal/obs"
+)
+
+func mustNew(t *testing.T, cfg Config) (*Injector, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	in, err := New(cfg, reg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return in, reg
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// TestConfigValidate rejects malformed rate combinations.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"all maxed independently", Config{LatencyRate: 1, CrashRate: 1, ErrorRate: 0.5, ResetRate: 0.5}, true},
+		{"negative rate", Config{ErrorRate: -0.1}, false},
+		{"rate above one", Config{LatencyRate: 1.5}, false},
+		{"error plus reset above one", Config{ErrorRate: 0.7, ResetRate: 0.7}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: unexpected error %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate: error expected, got nil")
+			}
+		})
+	}
+}
+
+// TestDeterministicDecisions sends the same sequential request stream
+// through two injectors with the same seed and requires identical
+// per-fault totals — the property chaos runs lean on for reproducibility.
+func TestDeterministicDecisions(t *testing.T) {
+	run := func(seed uint64) [3]uint64 {
+		in, _ := mustNew(t, Config{Seed: seed, LatencyRate: 0.3, Latency: time.Microsecond, ErrorRate: 0.2, ResetRate: 0.2})
+		h := in.Middleware(okHandler())
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		client := srv.Client()
+		for i := 0; i < 200; i++ {
+			resp, err := client.Get(srv.URL + "/v1/jobs/x")
+			if err != nil {
+				continue // injected reset
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return [3]uint64{in.latency.Value(), in.errors.Value(), in.resets.Value()}
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[0] == 0 || a[1] == 0 || a[2] == 0 {
+		t.Fatalf("expected all fault kinds to fire over 200 requests, got latency=%d errors=%d resets=%d", a[0], a[1], a[2])
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seeds produced identical totals %v — decision stream ignores the seed", c)
+	}
+}
+
+// TestErrorInjection: with ErrorRate 1 every non-exempt request is a
+// synthetic 500 and the counter tracks each one.
+func TestErrorInjection(t *testing.T) {
+	in, _ := mustNew(t, Config{Seed: 1, ErrorRate: 1})
+	srv := httptest.NewServer(in.Middleware(okHandler()))
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status = %d, want 500", resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "chaos: injected server error") {
+			t.Fatalf("body = %q, want injected-error marker", body)
+		}
+	}
+	if got := in.errors.Value(); got != 5 {
+		t.Fatalf("error counter = %d, want 5", got)
+	}
+}
+
+// TestResetInjection: with ResetRate 1 the client observes a transport
+// error, not an HTTP response.
+func TestResetInjection(t *testing.T) {
+	in, _ := mustNew(t, Config{Seed: 1, ResetRate: 1})
+	srv := httptest.NewServer(in.Middleware(okHandler()))
+	defer srv.Close()
+
+	if _, err := srv.Client().Get(srv.URL + "/v1/jobs"); err == nil {
+		t.Fatal("expected a transport error from the aborted connection")
+	}
+	if got := in.resets.Value(); got != 1 {
+		t.Fatalf("reset counter = %d, want 1", got)
+	}
+}
+
+// TestExemptPaths: health probes and metric scrapes dodge every fault.
+func TestExemptPaths(t *testing.T) {
+	in, _ := mustNew(t, Config{Seed: 1, LatencyRate: 1, Latency: time.Microsecond, ErrorRate: 0.5, ResetRate: 0.5})
+	srv := httptest.NewServer(in.Middleware(okHandler()))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		for i := 0; i < 10; i++ {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+			}
+		}
+	}
+	if n := in.latency.Value() + in.errors.Value() + in.resets.Value(); n != 0 {
+		t.Fatalf("exempt paths consumed %d faults", n)
+	}
+}
+
+// TestCrashBounds: crash points stay in [1, CrashCells] and a zero rate
+// never fires.
+func TestCrashBounds(t *testing.T) {
+	in, _ := mustNew(t, Config{Seed: 9, CrashRate: 1, CrashCells: 4})
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		after, ok := in.Crash()
+		if !ok {
+			t.Fatal("CrashRate 1 must always fire")
+		}
+		if after < 1 || after > 4 {
+			t.Fatalf("crash point %d outside [1, 4]", after)
+		}
+		seen[after] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("crash points poorly spread: %v", seen)
+	}
+	if got := in.crashes.Value(); got != 200 {
+		t.Fatalf("crash counter = %d, want 200", got)
+	}
+
+	quiet, _ := mustNew(t, Config{Seed: 9})
+	for i := 0; i < 50; i++ {
+		if _, ok := quiet.Crash(); ok {
+			t.Fatal("zero CrashRate fired")
+		}
+	}
+}
+
+// TestMetricsRegistered: the full fault family is present on the
+// registry even before any fault fires, so dashboards see zeros rather
+// than absent series.
+func TestMetricsRegistered(t *testing.T) {
+	_, reg := mustNew(t, Config{Seed: 1})
+	var buf strings.Builder
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	body := buf.String()
+	for _, fault := range []string{"latency", "error", "reset", "crash"} {
+		want := `exaresil_chaos_injected_total{fault="` + fault + `"} 0`
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -102,6 +102,13 @@ func (s ClusterSpec) patterns() []workload.Pattern {
 // workers start — there is no producer goroutine to strand on an
 // abandoned send — and every worker error is reported, joined, not just
 // the first one observed.
+//
+// When Config.Progress is attached, each finished cell is reported with
+// its (dropped%, wait-minutes) pair, cells the hook marks Completed are
+// folded from their recorded values instead of recomputed, and a canceled
+// Progress.Ctx aborts between cells — the grid's checkpoint/restart
+// surface (DESIGN.md §10). Restored values are the exact floats a full
+// run would produce, so a resumed grid stays bit-identical.
 func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 	pats := s.patterns()
 	model, err := s.model(0)
@@ -122,6 +129,7 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 	}
 	close(tasks)
 
+	prog := s.Progress
 	outs := make([]outcome, total)
 	workers := min(s.workers(), total)
 	var wg sync.WaitGroup
@@ -130,6 +138,14 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
+				if vals, ok := prog.lookup(i); ok && len(vals) == 2 {
+					outs[i] = outcome{pct: vals[0], wait: vals[1]}
+					continue
+				}
+				if err := prog.cause(); err != nil {
+					outs[i] = outcome{err: err}
+					continue
+				}
 				cb := combos[i/s.Patterns]
 				pattern := i % s.Patterns
 				spec := cluster.Spec{
@@ -145,11 +161,19 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 				}
 				m, err := cluster.Run(spec)
 				outs[i] = outcome{pct: m.DroppedPct(), wait: m.MeanWait.Minutes(), err: err}
+				if err == nil {
+					prog.note(i, []float64{outs[i].pct, outs[i].wait})
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
+	// An aborted run reports its context's cause alone — the per-cell
+	// skip errors are all that cause repeated.
+	if err := prog.cause(); err != nil {
+		return nil, err
+	}
 	out := make([]comboResult, len(combos))
 	var errs []error
 	for i, oc := range outs {

@@ -34,6 +34,11 @@ type Config struct {
 	// runs (see internal/obs). Attaching a registry never changes any
 	// exhibit's numbers: the series only count.
 	Obs *obs.Registry
+	// Progress, when non-nil, receives per-cell completion events from
+	// the grid exhibits and can pre-fill cells completed by an earlier,
+	// interrupted run (checkpoint/restart; see Progress). Attaching a
+	// hook never changes any exhibit's numbers.
+	Progress *Progress
 }
 
 // Default returns the paper's configuration.

@@ -102,6 +102,7 @@ func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
 		"arrival pattern", "scheduler", s.Baseline.String(), "Resilience Selection")
 	t.AddNote("mean ± stddev over %d arrival patterns of %d applications each", s.Patterns, s.Arrivals)
 
+	cellBase := 0 // disjoint Progress cell ranges across the per-bias grids
 	for _, bias := range s.Biases {
 		cs := ClusterSpec{
 			Config:   s.Config,
@@ -109,6 +110,7 @@ func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
 			Arrivals: s.Arrivals,
 			Bias:     bias,
 		}
+		cs.Progress = s.Progress.offset(cellBase)
 		combos := make([]comboSpec, 0, 2*len(s.Schedulers))
 		for _, sch := range s.Schedulers {
 			combos = append(combos,
@@ -116,6 +118,7 @@ func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
 				comboSpec{scheduler: sch, chooser: cluster.TechniqueChooser(selector.Choose)},
 			)
 		}
+		cellBase += 2 * len(s.Schedulers) * cs.Patterns
 		raw, err := cs.runCells(combos)
 		if err != nil {
 			return nil, SelectionResult{}, err

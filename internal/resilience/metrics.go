@@ -27,12 +27,12 @@ type Metrics struct {
 
 // techMetrics is one technique's series.
 type techMetrics struct {
-	runs, completions    *obs.Counter
-	failures, rollbacks  *obs.Counter
-	bySeverity           [4]*obs.Counter
-	useful, checkpoint   *obs.FloatCounter
-	restore, relaunch    *obs.FloatCounter
-	rework               *obs.FloatCounter
+	runs, completions   *obs.Counter
+	failures, rollbacks *obs.Counter
+	bySeverity          [4]*obs.Counter
+	useful, checkpoint  *obs.FloatCounter
+	restore, relaunch   *obs.FloatCounter
+	rework              *obs.FloatCounter
 }
 
 // TechLabel is the stable label value for a technique (CLI-style, not the

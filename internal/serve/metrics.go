@@ -39,6 +39,14 @@ type Metrics struct {
 	CacheMisses    *obs.Counter
 	CacheEvictions *obs.Counter
 	CacheSize      *obs.Gauge
+
+	// Checkpoint/restart (job-level snapshots; DESIGN.md §10).
+	Snapshots             *obs.Gauge   // partial-result snapshots retained
+	SnapshotResumes       *obs.Counter // executions that began from a non-empty snapshot
+	SnapshotCellsRecorded *obs.Counter // grid cells checkpointed as they finished
+	SnapshotCellsRestored *obs.Counter // grid cells restored instead of recomputed
+	SnapshotsEvicted      *obs.Counter
+	CrashesInjected       *obs.Counter // CrashHook firings (chaos worker crashes)
 }
 
 // NewMetrics registers the service's metric families on r (nil = disabled).
@@ -62,6 +70,13 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		CacheMisses:    r.Counter("exaresil_serve_cache_requests_total", "result cache outcomes at submit", obs.L("outcome", "miss")),
 		CacheEvictions: r.Counter("exaresil_serve_cache_evictions_total", "finished results evicted from the LRU"),
 		CacheSize:      r.Gauge("exaresil_serve_cache_size", "entries resident in the result cache (finished + in flight)"),
+
+		Snapshots:             r.Gauge("exaresil_serve_snapshots", "partial-result snapshots retained for resume"),
+		SnapshotResumes:       r.Counter("exaresil_serve_snapshot_resumes_total", "executions resumed from a prior attempt's snapshot"),
+		SnapshotCellsRecorded: r.Counter("exaresil_serve_snapshot_cells_total", "grid-cell checkpoint events", obs.L("event", "recorded")),
+		SnapshotCellsRestored: r.Counter("exaresil_serve_snapshot_cells_total", "grid-cell checkpoint events", obs.L("event", "restored")),
+		SnapshotsEvicted:      r.Counter("exaresil_serve_snapshots_evicted_total", "snapshots evicted from the bounded checkpoint store"),
+		CrashesInjected:       r.Counter("exaresil_serve_crashes_injected_total", "worker crashes injected by the configured CrashHook"),
 	}
 }
 

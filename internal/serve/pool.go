@@ -18,22 +18,28 @@ var (
 )
 
 // Pool is the bounded, sharded worker pool. Each worker owns one shard —
-// a buffered channel of flights — and flights are routed to shards by
-// cache-key hash, so a given spec always queues behind the same worker and
-// the shards need no cross-worker stealing or locking. Admission is a
-// non-blocking send: a full shard rejects immediately (backpressure)
-// instead of queueing without bound.
+// a mutex-and-condvar guarded queue of flights — and flights are routed
+// to shards by cache-key hash, so a given spec always queues behind the
+// same worker and the shards need no cross-worker stealing. Admission
+// never blocks: a full shard rejects immediately (backpressure) instead
+// of queueing without bound. Unlike a channel, the queue supports
+// discard: a flight whose every subscriber canceled while it waited is
+// removed on the spot, releasing its admission slot immediately instead
+// of holding backpressure capacity until a worker reaches and skips it.
 type Pool struct {
-	shards []chan *flight
+	shards []*shardq
 	depth  int // per-shard queue capacity
 	exec   func(*flight)
 	wg     sync.WaitGroup
-	// mu serializes admission against drain: submit sends while holding
-	// the read side, drain flips draining and closes the shards under the
-	// write side, so a send can never hit a closed channel.
-	mu       sync.RWMutex
-	draining bool
-	m        *Metrics
+	m      *Metrics
+}
+
+// shardq is one worker's queue.
+type shardq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*flight
+	closed bool
 }
 
 // newPool builds a pool of `workers` shards with `queueDepth` total queue
@@ -50,13 +56,15 @@ func newPool(workers, queueDepth int, exec func(*flight), m *Metrics) *Pool {
 		depth = 1
 	}
 	p := &Pool{
-		shards: make([]chan *flight, workers),
+		shards: make([]*shardq, workers),
 		depth:  depth,
 		exec:   exec,
 		m:      m,
 	}
 	for i := range p.shards {
-		p.shards[i] = make(chan *flight, depth)
+		q := &shardq{}
+		q.cond = sync.NewCond(&q.mu)
+		p.shards[i] = q
 	}
 	return p
 }
@@ -65,31 +73,68 @@ func newPool(workers, queueDepth int, exec func(*flight), m *Metrics) *Pool {
 func (p *Pool) start() {
 	for i := range p.shards {
 		p.wg.Add(1)
-		go func(shard int) {
-			defer p.wg.Done()
-			for fl := range p.shards[shard] {
-				p.m.QueueDepth(shard).Add(-1)
-				p.exec(fl)
-			}
-		}(i)
+		go p.work(i)
+	}
+}
+
+// work is one shard's worker loop: pop the oldest flight, execute it,
+// repeat; exit once the shard is closed and empty.
+func (p *Pool) work(shard int) {
+	defer p.wg.Done()
+	q := p.shards[shard]
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		fl := q.items[0]
+		copy(q.items, q.items[1:])
+		q.items[len(q.items)-1] = nil
+		q.items = q.items[:len(q.items)-1]
+		q.mu.Unlock()
+		p.m.QueueDepth(shard).Add(-1)
+		p.exec(fl)
 	}
 }
 
 // submit routes a flight to its shard. It never blocks.
 func (p *Pool) submit(fl *flight) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.draining {
+	q := p.shards[fl.shard]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
 		return ErrDraining
 	}
-	select {
-	case p.shards[fl.shard] <- fl:
-		p.m.QueueDepth(fl.shard).Add(1)
-		return nil
-	default:
+	if len(q.items) >= p.depth {
 		p.m.QueueRejected.Inc()
 		return ErrSaturated
 	}
+	q.items = append(q.items, fl)
+	p.m.QueueDepth(fl.shard).Add(1)
+	q.cond.Signal()
+	return nil
+}
+
+// discard removes a still-queued flight from its shard, releasing the
+// admission slot immediately (the DELETE-a-queued-job path). It reports
+// whether the flight was found; false means a worker already popped it,
+// in which case the worker's begin() check skips the aborted flight.
+func (p *Pool) discard(fl *flight) bool {
+	q := p.shards[fl.shard]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, f := range q.items {
+		if f == fl {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			p.m.QueueDepth(fl.shard).Add(-1)
+			return true
+		}
+	}
+	return false
 }
 
 // workers reports the pool width.
@@ -101,8 +146,10 @@ func (p *Pool) queueCapacity() int { return p.depth * len(p.shards) }
 // queued reports the flights currently waiting across all shards.
 func (p *Pool) queued() int {
 	n := 0
-	for _, ch := range p.shards {
-		n += len(ch)
+	for _, q := range p.shards {
+		q.mu.Lock()
+		n += len(q.items)
+		q.mu.Unlock()
 	}
 	return n
 }
@@ -111,16 +158,12 @@ func (p *Pool) queued() int {
 // running flight to finish — no in-flight job is dropped. It fails only if
 // ctx expires first.
 func (p *Pool) drain(ctx context.Context) error {
-	p.mu.Lock()
-	if p.draining {
-		p.mu.Unlock()
-		return nil
+	for _, q := range p.shards {
+		q.mu.Lock()
+		q.closed = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
 	}
-	p.draining = true
-	for _, ch := range p.shards {
-		close(ch)
-	}
-	p.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		p.wg.Wait()

@@ -34,13 +34,24 @@ type Config struct {
 	// JobTimeout bounds one execution (0 = no timeout). A timed-out
 	// flight fails its jobs and detaches the still-running simulation.
 	JobTimeout time.Duration
+	// SnapshotSize bounds the checkpoint store (default 64 partial-result
+	// snapshots of interrupted executions; see snapshot.go).
+	SnapshotSize int
 	// Obs receives the service metric families; GET /metrics exposes the
 	// whole registry. Nil disables both.
 	Obs *obs.Registry
 	// Runner executes one spec (nil = the experiments registry). Tests
 	// substitute controllable runners; the context is canceled on per-job
-	// timeout or when every subscribed job is canceled.
+	// timeout or when every subscribed job is canceled, and cfg.Progress
+	// carries the execution's checkpoint hook.
 	Runner func(ctx context.Context, cfg experiments.Config, s Spec) (*Result, error)
+	// CrashHook, when non-nil, is consulted once per execution start;
+	// when it fires, the execution's context is canceled with a crash
+	// cause after that many further grid cells complete — a deterministic
+	// mid-job worker crash (internal/chaos wires this behind the exaserve
+	// -chaos flag). Crashed jobs fail; resubmitting the same spec resumes
+	// from the snapshot the crashed run left behind.
+	CrashHook func() (afterCells int, ok bool)
 }
 
 // Server is the simulation service: HTTP codec on top of store + cache +
@@ -51,6 +62,7 @@ type Server struct {
 	store    *Store
 	cache    *Cache
 	pool     *Pool
+	snaps    *snapStore
 	mux      *http.ServeMux
 	draining atomic.Bool
 	ewmaBits atomic.Uint64 // EWMA of execution seconds, for Retry-After
@@ -82,6 +94,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, m: NewMetrics(cfg.Obs)}
 	s.store = newStore(cfg.StoreSize, s.m)
 	s.cache = newCache(cfg.CacheSize, s.m)
+	s.snaps = newSnapStore(cfg.SnapshotSize, s.m)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execFlight, s.m)
 	for shard := 0; shard < s.pool.workers(); shard++ {
 		s.m.QueueDepth(shard).Set(0) // register the series before traffic
@@ -234,7 +247,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	s.m.JobsCanceled.Inc()
 	if j.flight != nil {
 		switch j.flight.detach() {
-		case detachAborted, detachStopped:
+		case detachAborted:
+			s.cache.forget(j.flight)
+			// The flight never ran; pull it out of its shard queue so the
+			// admission slot frees immediately instead of when a worker
+			// reaches and skips it.
+			s.pool.discard(j.flight)
+		case detachStopped:
 			s.cache.forget(j.flight)
 		}
 	}
@@ -311,6 +330,7 @@ type healthView struct {
 	Queued        int    `json:"queued"`
 	Jobs          int    `json:"jobs"`
 	CacheEntries  int    `json:"cache_entries"`
+	Snapshots     int    `json:"snapshots"`
 }
 
 // handleHealth reports liveness and the coarse pressure numbers a load
@@ -327,31 +347,69 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queued:        s.pool.queued(),
 		Jobs:          s.store.size(),
 		CacheEntries:  s.cache.size(),
+		Snapshots:     s.snaps.size(),
 	})
 }
 
+// errCrash is the cancel cause of an injected worker crash (CrashHook).
+var errCrash = errors.New("serve: injected worker crash")
+
 // execFlight runs one flight on a worker: start the runner in a child
-// goroutine and wait for it, the per-job timeout, or last-subscriber
-// cancellation — whichever comes first. A detached runner (timeout or
-// cancel won the select) keeps simulating until it returns, but its
-// result is discarded and the worker moves on; the abandoned counter
-// makes that visible.
+// goroutine and wait for it, the per-job timeout, last-subscriber
+// cancellation, or an injected worker crash — whichever comes first. A
+// detached runner (anything but the runner's own return won the select)
+// keeps simulating until it notices the canceled context, but its result
+// is discarded and the worker moves on; the abandoned counter makes that
+// visible.
+//
+// Checkpoint/restart: every execution opens the spec's snapshot and
+// threads an experiments.Progress hook through the runner config, so
+// grid exhibits record each finished cell and skip cells a previous,
+// interrupted attempt already completed. Success drops the snapshot (the
+// result cache owns the spec now); failure, timeout, crash, and cancel
+// keep a non-empty one for the next attempt.
 func (s *Server) execFlight(fl *flight) {
 	now := time.Now()
-	var ctx context.Context
-	var cancel context.CancelFunc
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	defer cancelCause(context.Canceled)
 	if s.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
-	} else {
-		ctx, cancel = context.WithCancel(context.Background())
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancelTimeout()
 	}
-	defer cancel()
-	if !fl.begin(cancel, now) {
+	if !fl.begin(func() { cancelCause(context.Canceled) }, now) {
 		return // every subscriber canceled while queued; already forgotten
 	}
 	s.m.JobsInflight.Add(1)
 	defer s.m.JobsInflight.Add(-1)
 	s.m.Executions.Inc()
+
+	snap, restored := s.snaps.open(fl.key)
+	if restored > 0 {
+		s.m.SnapshotResumes.Inc()
+		s.m.SnapshotCellsRestored.Add(uint64(restored))
+	}
+	// crashAfter counts down fresh cells toward an injected crash; 0
+	// means no crash is scheduled.
+	var crashAfter atomic.Int64
+	if s.cfg.CrashHook != nil {
+		if n, ok := s.cfg.CrashHook(); ok && n > 0 {
+			crashAfter.Store(int64(n))
+			s.m.CrashesInjected.Inc()
+		}
+	}
+	ecfg := s.cfg.Experiments
+	ecfg.Progress = &experiments.Progress{
+		Ctx:       ctx,
+		Completed: snap.completed(),
+		OnCell: func(cell int, values []float64) {
+			snap.note(cell, values)
+			s.m.SnapshotCellsRecorded.Inc()
+			if crashAfter.Load() > 0 && crashAfter.Add(-1) == 0 {
+				cancelCause(errCrash)
+			}
+		},
+	}
 
 	type outcome struct {
 		res *Result
@@ -360,7 +418,7 @@ func (s *Server) execFlight(fl *flight) {
 	ch := make(chan outcome, 1)
 	start := time.Now()
 	go func() {
-		res, err := s.cfg.Runner(ctx, s.cfg.Experiments, fl.spec)
+		res, err := s.cfg.Runner(ctx, ecfg, fl.spec)
 		ch <- outcome{res, err}
 	}()
 
@@ -371,24 +429,33 @@ func (s *Server) execFlight(fl *flight) {
 		s.noteJobSeconds(secs)
 		if o.err != nil {
 			s.cache.forget(fl)
+			s.snaps.settle(fl.key)
 			n := fl.settle(StateFailed, nil, o.err, "run: "+o.err.Error(), time.Now())
 			s.m.JobsFailed.Add(uint64(n))
 		} else {
 			s.cache.complete(fl, o.res)
+			s.snaps.drop(fl.key)
 			n := fl.settle(StateDone, o.res, nil, "", time.Now())
 			s.m.JobsDone.Add(uint64(n))
 		}
 	case <-ctx.Done():
 		s.m.JobsAbandoned.Inc()
 		s.cache.forget(fl)
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			n := fl.settle(StateFailed, nil, ctx.Err(),
+		s.snaps.settle(fl.key)
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errCrash):
+			n := fl.settle(StateFailed, nil, cause,
+				"injected worker crash; resubmit to resume from the last snapshot", time.Now())
+			s.m.JobsFailed.Add(uint64(n))
+		case errors.Is(cause, context.DeadlineExceeded):
+			n := fl.settle(StateFailed, nil, cause,
 				fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout), time.Now())
 			s.m.JobsFailed.Add(uint64(n))
-		} else {
+		default:
 			// Last subscriber canceled mid-run; its job is already
 			// terminal, so this usually transitions nothing.
-			n := fl.settle(StateCanceled, nil, ctx.Err(), "canceled", time.Now())
+			n := fl.settle(StateCanceled, nil, cause, "canceled", time.Now())
 			s.m.JobsCanceled.Add(uint64(n))
 		}
 	}

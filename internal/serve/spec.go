@@ -3,7 +3,7 @@
 // hashes each spec into a cache key, and executes them on a bounded,
 // sharded worker pool over the shared experiments registry.
 //
-// The layer is built from four pieces, each in its own file:
+// The layer is built from five pieces, each in its own file:
 //
 //   - Spec (this file): the JSON request codec. Canonicalization maps every
 //     semantically equal request — reordered fields, default-valued fields
@@ -14,10 +14,19 @@
 //   - Cache: an LRU of finished results with single-flight admission —
 //     identical concurrent specs run once and every submitter shares the
 //     result.
-//   - Pool: the sharded worker pool with bounded queues, per-job timeouts,
-//     and graceful drain.
+//   - Pool: the sharded worker pool with bounded, discardable queues,
+//     per-job timeouts, and graceful drain.
+//   - snapStore: the checkpoint tier (DESIGN.md §10, introduced in PR 5).
+//     Grid exhibits report per-cell completion through
+//     experiments.Progress; interrupted executions leave a snapshot, and
+//     resubmitting the same spec resumes from it instead of relaunching —
+//     the serving-layer analogue of the paper's checkpoint/restart, with
+//     the snapshot store playing the fast L1/L2 tiers to the result
+//     cache's parallel-file-system role.
 //
-// Server wires the pieces to HTTP routes and the obs metrics registry.
+// Server wires the pieces to HTTP routes and the obs metrics registry;
+// Config.CrashHook lets internal/chaos inject deterministic mid-job
+// worker crashes to prove the resume path.
 package serve
 
 import (

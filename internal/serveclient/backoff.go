@@ -1,0 +1,64 @@
+package serveclient
+
+import (
+	"math"
+	"time"
+)
+
+// Backoff computes retry delays: capped exponential growth with
+// multiplicative jitter, overridden by a server-supplied Retry-After.
+// The zero value is usable and means the defaults below.
+type Backoff struct {
+	// Base is the delay before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the computed delay (default 5s). A Retry-After larger
+	// than Max is still honored: the server knows its queue better than
+	// the client's cap does.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay randomized away, in [0, 1]
+	// (default 0.2): the returned delay lies in [(1-Jitter)·d, d], which
+	// de-synchronizes retry herds without ever exceeding the schedule.
+	Jitter float64
+}
+
+// withDefaults fills unset knobs.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// Delay returns the pause before retry number attempt (0-based: attempt
+// 0 follows the first failure). A positive retryAfter — the server's
+// Retry-After header — overrides the computed schedule entirely and is
+// returned unjittered. rnd supplies uniform [0, 1) variates for jitter;
+// nil disables jitter, which keeps the schedule pure for tests.
+func (b Backoff) Delay(attempt int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	b = b.withDefaults()
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if d > float64(b.Max) || math.IsInf(d, 1) || math.IsNaN(d) {
+		d = float64(b.Max)
+	}
+	if rnd != nil && b.Jitter > 0 {
+		d -= b.Jitter * d * rnd()
+	}
+	return time.Duration(d)
+}

@@ -2,17 +2,21 @@
 # check.sh — the repository's model-conformance gate.
 #
 # Runs, in order:
-#   1. go vet over every package
+#   1. go vet over every package, plus doc hygiene: every internal
+#      package carries a package comment and gofmt has nothing to say
 #   2. the race detector over the audit harness, the cluster layer, the
 #      obs metrics package, the shared experiments registry, and the
-#      exaserve service layer (pins the seed-determinism,
-#      metrics-attachment-is-inert, and single-flight/backpressure tests
-#      under -race)
+#      service stack — serve, chaos injector, retrying client (pins the
+#      seed-determinism, metrics-attachment-is-inert,
+#      single-flight/backpressure, and checkpoint/resume tests under
+#      -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
 #      schedule search, and the workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
 #      metamorphic properties) — exits non-zero on any violation
 #   5. the golden-exhibit digest comparison against results/golden/
+#   6. a short chaos soak: exaserve -chaos vs the retrying exasoak client
+#      (scripts/chaos_soak.sh; set SOAK_REQUESTS=0 to skip)
 #
 # Usage: scripts/check.sh [exacheck flags...]
 # e.g.:  scripts/check.sh -quick
@@ -24,9 +28,19 @@ FUZZTIME="${FUZZTIME:-10s}"
 echo "== go vet ./..."
 go vet ./...
 
-echo "== race detector on the audit harness, cluster layer, metrics, registry, and service"
+echo "== doc hygiene: package comments and gofmt"
+MISSING=""
+for dir in internal/*/; do
+  pkg=$(basename "$dir")
+  grep -rql "^// Package ${pkg}" "$dir"*.go || MISSING="${MISSING} ${pkg}"
+done >/dev/null
+[ -z "$MISSING" ] || { echo "internal packages missing a package comment:${MISSING}"; exit 1; }
+UNFMT=$(gofmt -l .)
+[ -z "$UNFMT" ] || { echo "gofmt wants to rewrite:"; echo "$UNFMT"; exit 1; }
+
+echo "== race detector on the audit harness, cluster layer, metrics, registry, and service stack"
 go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
-	./internal/experiments/ ./internal/serve/...
+	./internal/experiments/ ./internal/serve/... ./internal/chaos/ ./internal/serveclient/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
@@ -38,3 +52,8 @@ go run ./cmd/exacheck "$@" sweep
 
 echo "== golden exhibits"
 go run ./cmd/exacheck golden
+
+if [ "${SOAK_REQUESTS:-8}" != "0" ]; then
+  echo "== chaos soak"
+  SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/chaos_soak.sh
+fi
