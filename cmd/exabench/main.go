@@ -9,9 +9,15 @@
 //
 // Flags:
 //
-//	-out FILE   where to write the JSON summary (default BENCH_results.json)
-//	-run NAME   run only benchmarks whose name contains NAME
-//	-list       print the benchmark names and exit
+//	-out FILE      where to write the JSON summary (default BENCH_results.json)
+//	-run NAME      run only benchmarks whose name contains NAME
+//	-list          print the benchmark names and exit
+//	-commit REV    stamp the report with a source revision (scripts/bench.sh
+//	               passes the current git commit)
+//	-baseline FILE compare against a previous report: print benchstat-style
+//	               ns/op, B/op, and allocs/op deltas per benchmark and exit
+//	               non-zero if any benchmark regressed by more than 10% in
+//	               time or allocations
 //
 // Each entry reports ns/op, bytes/op, and allocs/op for one exhibit at
 // the same reduced statistical scale as the root package's bench_test.go
@@ -20,6 +26,8 @@
 //	{
 //	  "go_version": "go1.24.x",
 //	  "gomaxprocs": 8,
+//	  "commit": "7a8911d",
+//	  "date": "2026-01-02T15:04:05Z",
 //	  "results": [
 //	    {"name": "fig1", "iterations": 18, "ns_per_op": 6.1e7,
 //	     "bytes_per_op": 29000000, "allocs_per_op": 700000},
@@ -37,14 +45,18 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"exaresil"
+	"exaresil/internal/analytic"
+	"exaresil/internal/core"
 	"exaresil/internal/experiments"
 	"exaresil/internal/obs"
 	"exaresil/internal/resilience"
 	"exaresil/internal/rng"
 	"exaresil/internal/selection"
 	"exaresil/internal/units"
+	"exaresil/internal/workload"
 )
 
 // benchResult is one benchmark's summary line.
@@ -60,6 +72,8 @@ type benchResult struct {
 type benchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	Commit     string        `json:"commit,omitempty"`
+	Date       string        `json:"date,omitempty"`
 	Results    []benchResult `json:"results"`
 }
 
@@ -81,6 +95,8 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_results.json", "output JSON file")
 	match := fs.String("run", "", "run only benchmarks whose name contains this substring")
 	list := fs.Bool("list", false, "list benchmark names and exit")
+	commit := fs.String("commit", "", "source revision to stamp into the report")
+	baseline := fs.String("baseline", "", "previous report to diff against (non-zero exit on >10% regression)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,9 +109,19 @@ func run(args []string) error {
 		return nil
 	}
 
+	var base *benchReport
+	if *baseline != "" {
+		var err error
+		if base, err = readReport(*baseline); err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+	}
+
 	report := benchReport{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     *commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, b := range benches {
 		if *match != "" && !strings.Contains(b.name, *match) {
@@ -129,7 +155,91 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "exabench: wrote %s\n", *out)
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if base != nil {
+		return diffReports(base, report)
+	}
+	return nil
+}
+
+// readReport loads a previously written benchmark report.
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: report has no results", path)
+	}
+	return &r, nil
+}
+
+// regressionThreshold is the relative growth in ns/op or allocs/op beyond
+// which diffReports declares a regression. Timing on a shared machine is
+// noisy, so the gate is deliberately loose; allocation counts are
+// deterministic and the same threshold catches any real leak.
+const regressionThreshold = 0.10
+
+// diffReports prints a benchstat-style delta table between a baseline
+// report and the current run, and returns an error if any benchmark
+// regressed by more than regressionThreshold in time or allocations.
+// Benchmarks present on only one side are reported but never gate.
+func diffReports(base *benchReport, cur benchReport) error {
+	old := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	label := base.Commit
+	if label == "" {
+		label = "baseline"
+	}
+	fmt.Printf("\nbenchmark deltas vs %s:\n", label)
+	fmt.Printf("%-24s %13s %13s %8s   %13s %13s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	var regressed []string
+	for _, r := range cur.Results {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Printf("%-24s %13s %13.0f %8s   %13s %13d %8s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			continue
+		}
+		dt := relDelta(o.NsPerOp, r.NsPerOp)
+		da := relDelta(float64(o.AllocsPerOp), float64(r.AllocsPerOp))
+		fmt.Printf("%-24s %13.0f %13.0f %+7.1f%%   %13d %13d %+7.1f%%\n",
+			r.Name, o.NsPerOp, r.NsPerOp, 100*dt, o.AllocsPerOp, r.AllocsPerOp, 100*da)
+		if o.BytesPerOp != r.BytesPerOp {
+			fmt.Printf("%-24s %13d %13d %+7.1f%% B/op\n",
+				"", o.BytesPerOp, r.BytesPerOp, 100*relDelta(float64(o.BytesPerOp), float64(r.BytesPerOp)))
+		}
+		if dt > regressionThreshold || da > regressionThreshold {
+			regressed = append(regressed, r.Name)
+		}
+		delete(old, r.Name)
+	}
+	for name := range old {
+		fmt.Printf("%-24s only in baseline\n", name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("regression beyond %.0f%% in: %s",
+			100*regressionThreshold, strings.Join(regressed, ", "))
+	}
+	fmt.Println("no regressions beyond the threshold")
+	return nil
+}
+
+// relDelta is (new-old)/old, and zero when the baseline is zero.
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
 }
 
 // exhibitBenches mirrors the root package's bench_test.go scales so the
@@ -145,14 +255,31 @@ func exhibitBenches() []bench {
 		TimeSteps:     360,
 		SizeFractions: []float64{0.01, 0.25},
 	}
+	// The _vr twins run the same grids in variance-reduced mode: antithetic
+	// pattern pairs for the cluster study, and for fig5 a selector built
+	// from one antithetic pair per arm under common random numbers
+	// (PairedTrials: 1, half the probe runs of the fig5 entry's Trials: 4).
+	// The delta against the plain entries is the cost side of the
+	// variance-reduction trade documented in DESIGN.md §11.
+	fig4VR := reduced
+	fig4VR.Paired = true
+	fig5VR := fig4VR
+	fig5VR.Selection = selection.Options{
+		PairedTrials:  1,
+		TimeSteps:     360,
+		SizeFractions: []float64{0.01, 0.25},
+	}
 	return []bench{
 		{"fig1", benchExhibit("fig1", reduced)},
 		{"fig2", benchExhibit("fig2", reduced)},
 		{"fig3", benchExhibit("fig3", reduced)},
 		{"fig4", benchExhibit("fig4", reduced)},
+		{"fig4_vr", benchExhibit("fig4", fig4VR)},
 		{"fig4_metrics", benchFig4Metrics},
 		{"fig4_resume", benchFig4Resume},
 		{"fig5", benchExhibit("fig5", fig5Params)},
+		{"fig5_vr", benchExhibit("fig5", fig5VR)},
+		{"batch_analytic", benchBatchAnalytic},
 		{"cluster_run", benchClusterRun},
 		{"executor_run", benchExecutorRun},
 		{"multilevel_optimizer", benchMultilevelOptimizer},
@@ -241,6 +368,44 @@ func benchFig4Resume(b *testing.B) {
 		}
 		if t.Rows() == 0 {
 			b.Fatal("empty table")
+		}
+	}
+}
+
+// benchBatchAnalytic measures the steady-state cost of the batch analytic
+// evaluator over the ext-whatif exhibit's grid shape (4 MTBFs x 7 sizes x
+// 5 techniques). The evaluator is built once outside the timed loop, as the
+// what-if service path reuses it, so the loop body is the pure column-pass
+// Eval — expected to report zero allocs/op (the allocation-freedom test in
+// internal/analytic pins that contract; this entry tracks its speed).
+func benchBatchAnalytic(b *testing.B) {
+	cfg := experiments.Default()
+	grid := analytic.Grid{
+		Machine:    cfg.Machine,
+		PMF:        cfg.SeverityPMF,
+		Resilience: cfg.Resilience,
+		Class:      workload.D64,
+		TimeSteps:  1440,
+		MTBFs: []units.Duration{
+			10 * units.Year, 5 * units.Year,
+			units.Duration(2.5) * units.Year, units.Year,
+		},
+		Techniques: core.Techniques(),
+	}
+	for _, frac := range experiments.DefaultScalingFractions() {
+		grid.Nodes = append(grid.Nodes, cfg.Machine.NodesForFraction(frac))
+	}
+	ev, err := analytic.NewEvaluator(grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.Eval() // warm the multilevel stretch cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eff := ev.Eval()
+		if len(eff) != len(grid.MTBFs)*len(grid.Nodes)*len(grid.Techniques) {
+			b.Fatal("short efficiency buffer")
 		}
 	}
 }

@@ -27,6 +27,8 @@
 //	-seed N     master random seed (0 = default)
 //	-workers N  worker goroutines (0 = all CPUs)
 //	-quick      sweep a reduced grid (one MTBF, two sizes)
+//	-vr         sweep with variance-reduced (antithetic paired) trials,
+//	            certifying the paired sampler against the same bands
 //	-update     golden: rewrite the manifest and fixtures instead of comparing
 //	-dir DIR    golden: fixture directory (default results/golden)
 package main
@@ -62,6 +64,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "master random seed (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	quick := fs.Bool("quick", false, "sweep a reduced grid")
+	vr := fs.Bool("vr", false, "sweep with variance-reduced (antithetic paired) trials")
 	update := fs.Bool("update", false, "golden: rewrite the manifest and fixtures")
 	dir := fs.String("dir", filepath.Join("results", "golden"), "golden fixture directory")
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +78,7 @@ func run(args []string) error {
 	for _, mode := range modes {
 		switch mode {
 		case "sweep":
-			if err := runSweep(*trials, *seed, *workers, *quick); err != nil {
+			if err := runSweep(*trials, *seed, *workers, *quick, *vr); err != nil {
 				return err
 			}
 		case "golden":
@@ -90,10 +93,11 @@ func run(args []string) error {
 }
 
 // runSweep executes the conformance audit and renders its report.
-func runSweep(trials int, seed uint64, workers int, quick bool) error {
+func runSweep(trials int, seed uint64, workers int, quick, vr bool) error {
 	s := check.DefaultSweep()
 	s.Trials = trials // zero means the sweep default
 	s.Seed = seed
+	s.Paired = vr
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}

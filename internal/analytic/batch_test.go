@@ -1,0 +1,150 @@
+package analytic
+
+import (
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+func testGrid(class workload.Class) Grid {
+	cfg := machine.Exascale()
+	return Grid{
+		Machine:    cfg,
+		PMF:        failures.DefaultSeverityPMF(),
+		Resilience: resilience.DefaultConfig(),
+		Class:      class,
+		TimeSteps:  1440,
+		MTBFs:      []units.Duration{10 * units.Year, units.Duration(2.5) * units.Year},
+		Nodes: []int{
+			cfg.NodesForFraction(0.01),
+			cfg.NodesForFraction(0.10),
+			cfg.NodesForFraction(0.50),
+			cfg.NodesForFraction(1.00),
+		},
+		Techniques: core.Techniques(),
+	}
+}
+
+// TestBatchMatchesEfficiency pins the batch evaluator to the per-cell entry
+// point: every grid cell must score exactly what Efficiency reports.
+func TestBatchMatchesEfficiency(t *testing.T) {
+	for _, class := range []workload.Class{workload.A32, workload.D64} {
+		g := testGrid(class)
+		e, err := NewEvaluator(g)
+		if err != nil {
+			t.Fatalf("NewEvaluator(%s): %v", class.Name, err)
+		}
+		eff := e.Eval()
+		for mi, mtbf := range g.MTBFs {
+			model, err := failures.NewModel(mtbf, g.PMF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := g.Machine.WithMTBF(mtbf)
+			for ni, n := range g.Nodes {
+				app := workload.App{Class: class, TimeSteps: g.TimeSteps, Nodes: n}
+				for ti, tech := range g.Techniques {
+					want, err := Efficiency(tech, app, cfg, model, g.Resilience)
+					if err != nil {
+						t.Fatalf("Efficiency(%v, %dn, %v): %v", tech, n, mtbf, err)
+					}
+					if got := eff[e.Index(mi, ni, ti)]; got != want {
+						t.Errorf("%s/%v/%dn/%v: batch %v, Efficiency %v",
+							class.Name, tech, n, mtbf, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEvalRepeatable re-evaluates into the same buffer.
+func TestBatchEvalRepeatable(t *testing.T) {
+	e, err := NewEvaluator(testGrid(workload.D64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float64(nil), e.Eval()...)
+	second := e.Eval()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cell %d changed across Eval calls: %v -> %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestBatchEvalAllocationFree is the zero-alloc guarantee: once the
+// multilevel stretch cache is warm, Eval must not allocate at all.
+func TestBatchEvalAllocationFree(t *testing.T) {
+	e, err := NewEvaluator(testGrid(workload.D64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Eval() // warm the multilevel stretch cache
+	if allocs := testing.AllocsPerRun(10, func() { e.Eval() }); allocs != 0 {
+		t.Errorf("steady-state Eval allocates %v times per pass, want 0", allocs)
+	}
+}
+
+func TestNewEvaluatorRejectsBadGrids(t *testing.T) {
+	base := testGrid(workload.A32)
+
+	g := base
+	g.MTBFs = nil
+	if _, err := NewEvaluator(g); err == nil {
+		t.Error("empty MTBF axis accepted")
+	}
+
+	g = base
+	g.Nodes = nil
+	if _, err := NewEvaluator(g); err == nil {
+		t.Error("empty node axis accepted")
+	}
+
+	g = base
+	g.Techniques = []core.Technique{core.Technique(99)}
+	if _, err := NewEvaluator(g); err == nil {
+		t.Error("unknown technique accepted")
+	}
+
+	g = base
+	g.Nodes = []int{base.Machine.Nodes + 1}
+	if _, err := NewEvaluator(g); err == nil {
+		t.Error("oversized application accepted")
+	}
+}
+
+func TestIndexIsBijective(t *testing.T) {
+	// The flat layout contract behind every consumer's eff[Index(...)]
+	// lookup: MTBF-major, then nodes, then technique, covering exactly
+	// [0, len(Eval())) with no collisions.
+	ev, err := NewEvaluator(testGrid(workload.A32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ev.grid
+	n := len(g.MTBFs) * len(g.Nodes) * len(g.Techniques)
+	seen := make([]bool, n)
+	for mi := range g.MTBFs {
+		for ni := range g.Nodes {
+			for ti := range g.Techniques {
+				i := ev.Index(mi, ni, ti)
+				if i < 0 || i >= n {
+					t.Fatalf("Index(%d,%d,%d) = %d outside [0,%d)", mi, ni, ti, i, n)
+				}
+				if seen[i] {
+					t.Fatalf("Index(%d,%d,%d) = %d collides", mi, ni, ti, i)
+				}
+				seen[i] = true
+			}
+		}
+	}
+	if got := len(ev.Eval()); got != n {
+		t.Fatalf("Eval returned %d cells, want %d", got, n)
+	}
+}

@@ -40,6 +40,22 @@ type TrialSpec struct {
 	HorizonFactor float64
 	// Workers overrides the worker goroutine count (default GOMAXPROCS).
 	Workers int
+
+	// Antithetic switches the study to variance-reduced draws: trials run
+	// in antithetic pairs, trial 2k and 2k+1 sharing the (Seed, Cell, k)
+	// substream with the odd member's continuous draws mirrored (U -> 1-U;
+	// see rng.SetMirror). An odd Trials count simply leaves the last trial
+	// unpaired. Pair means are unbiased and negatively correlated, so the
+	// study reaches a given confidence width in fewer trials — DESIGN.md
+	// §11 discusses when the pairing is statistically valid.
+	Antithetic bool
+	// Cell names the study's coordinate in a larger grid when Antithetic
+	// is set: streams come from rng.SubStream(Seed, Cell, k), so several
+	// studies probing the same cell — the technique arms of a selection
+	// cell — share identical failure draws (common random numbers) by
+	// passing the same (Seed, Cell). Ignored in the default mode, which
+	// keeps the historical per-trial rng.Stream(Seed, i) derivation.
+	Cell uint64
 }
 
 // TrialStats aggregates the results of a Monte-Carlo study.
@@ -127,12 +143,24 @@ func Run(spec TrialSpec) TrialStats {
 		wg.Add(1)
 		go func(x resilience.Executor) {
 			defer wg.Done()
+			// One scratch source per worker, re-seeded in place for each
+			// trial: the same streams rng.Stream/SubStream would allocate,
+			// without the per-trial allocation. Executors only read the
+			// source inside Run, so sequential trials may share it.
+			var src rng.Source
 			for {
 				trial := next.Add(1) - 1
 				if trial >= int64(spec.Trials) {
 					return
 				}
-				res := x.Run(0, horizon, rng.Stream(spec.Seed, uint64(trial)))
+				if spec.Antithetic {
+					// Pair k = trial/2; the odd member mirrors its twin.
+					src.SetSubStream(spec.Seed, spec.Cell, uint64(trial)/2)
+					src.SetMirror(trial%2 == 1)
+				} else {
+					src.SetStream(spec.Seed, uint64(trial))
+				}
+				res := x.Run(0, horizon, &src)
 				results[trial] = trialResult{
 					eff:       res.Efficiency(),
 					failures:  float64(res.Failures),

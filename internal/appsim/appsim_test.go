@@ -7,6 +7,8 @@ import (
 	"exaresil/internal/failures"
 	"exaresil/internal/machine"
 	"exaresil/internal/resilience"
+	"exaresil/internal/rng"
+	"exaresil/internal/stats"
 	"exaresil/internal/units"
 	"exaresil/internal/workload"
 )
@@ -114,3 +116,50 @@ func TestHorizonFactorCapsRunaways(t *testing.T) {
 
 // units25 is 2.5 years expressed in simulation time.
 func units25() units.Duration { return units.Duration(2.5) * units.Year }
+
+func TestAntitheticOddTrialsLeaveLastUnpaired(t *testing.T) {
+	// An odd Antithetic trial count must run: pairs (0,1) and (2,3) plus
+	// trial 4 as the unmirrored half of substream 2, nothing dropped or
+	// double-counted. The manual replay below is the documented stream
+	// derivation; Run must match it bit for bit.
+	x := executor(t, core.CheckpointRestart, workload.C64, 30000)
+	got := Run(TrialSpec{Executor: x, Trials: 5, Seed: 3, Cell: 9, Antithetic: true, Workers: 1})
+	if got.Efficiency.N != 5 {
+		t.Fatalf("efficiency over %d trials, want 5", got.Efficiency.N)
+	}
+
+	horizon := units.Duration(DefaultHorizonFactor * float64(x.App().Baseline()))
+	var eff stats.Accumulator
+	var src rng.Source
+	for trial := 0; trial < 5; trial++ {
+		src.SetSubStream(3, 9, uint64(trial)/2)
+		src.SetMirror(trial%2 == 1)
+		eff.Add(x.Run(0, horizon, &src).Efficiency())
+	}
+	if want := eff.Summarize(); got.Efficiency != want {
+		t.Errorf("odd antithetic study %+v differs from manual replay %+v", got.Efficiency, want)
+	}
+
+	// Worker-count invariance must survive the unpaired tail too.
+	para := Run(TrialSpec{Executor: executor(t, core.CheckpointRestart, workload.C64, 30000),
+		Trials: 5, Seed: 3, Cell: 9, Antithetic: true, Workers: 8})
+	if got != para {
+		t.Errorf("odd antithetic study differs across worker counts:\n 1 worker: %+v\n 8 workers: %+v", got, para)
+	}
+}
+
+func TestAntitheticSharesDrawsAcrossExecutors(t *testing.T) {
+	// Common random numbers: two studies passing the same (Seed, Cell)
+	// must hand their executors identical failure draws, so running the
+	// same executor twice under different spec copies replays exactly.
+	x := executor(t, core.MultilevelCheckpoint, workload.D64, 12000)
+	a := Run(TrialSpec{Executor: x, Trials: 6, Seed: 21, Cell: 4, Antithetic: true})
+	b := Run(TrialSpec{Executor: x.Clone(), Trials: 6, Seed: 21, Cell: 4, Antithetic: true})
+	if a != b {
+		t.Errorf("same (Seed, Cell) studies differ:\n first: %+v\n second: %+v", a, b)
+	}
+	c := Run(TrialSpec{Executor: x.Clone(), Trials: 6, Seed: 21, Cell: 5, Antithetic: true})
+	if a == c {
+		t.Error("distinct cells produced identical studies; substreams are not cell-keyed")
+	}
+}

@@ -69,6 +69,14 @@ type Sweep struct {
 	TimeSteps int
 	// Trials is the Monte-Carlo repetition count per cell (default 30).
 	Trials int
+	// Paired switches each cell's trials to the variance-reduced scheme
+	// the selection layer uses (PairedTrials): trial 2k and 2k+1 share the
+	// cell-keyed substream rng.SubStream(Seed, cell, k), the odd member
+	// with mirrored continuous draws. The analytic prediction is
+	// unchanged, so a passing paired sweep certifies that antithetic
+	// pairing stays inside the same conformance bands as independent
+	// sampling. An odd Trials count leaves the last trial unpaired.
+	Paired bool
 	// Seed drives all randomness.
 	Seed uint64
 	// Tol bounds sim-vs-analytic divergence.
@@ -388,9 +396,17 @@ func (s Sweep) runCell(spec cellSpec, index uint64, rm *resilience.Metrics) (Cel
 	horizon := units.Duration(float64(app.Baseline()) * 100)
 	var eff stats.Accumulator
 	var totals phaseTotals
+	var src rng.Source
 	for trial := 0; trial < s.Trials; trial++ {
+		if s.Paired {
+			src.SetSubStream(s.Seed, index, uint64(trial)/2)
+			src.SetMirror(trial%2 == 1)
+		} else {
+			// Bit-identical to the historical rng.Stream derivation.
+			src.SetStream(s.Seed^(index*0x9e3779b97f4a7c15), uint64(trial))
+		}
 		checker.BeginRun(fmt.Sprintf("%s trial %d", cell.Label(), trial))
-		res := x.Run(0, horizon, rng.Stream(s.Seed^(index*0x9e3779b97f4a7c15), uint64(trial)))
+		res := x.Run(0, horizon, &src)
 		checker.FinishRun(res)
 		eff.Add(res.Efficiency())
 		if res.Blocked == "" {

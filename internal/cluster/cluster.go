@@ -13,8 +13,10 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"exaresil/internal/core"
 	"exaresil/internal/des"
@@ -60,6 +62,14 @@ type Spec struct {
 	// never changes simulation behavior — the series only count — so runs
 	// with and without Obs are bit-identical.
 	Obs *obs.Registry
+	// Mirror antithetically reflects every continuous random draw of the
+	// run (failure inter-arrival times; see rng.SetMirror). A mirrored run
+	// over the same Spec is the antithetic twin of the plain run: averaging
+	// the pair cancels first-order Monte-Carlo noise in the failure draws,
+	// which is how the variance-reduced exhibit modes halve their pattern
+	// counts at equal confidence width. Discrete draws (mapper orderings,
+	// failure locations and severities) are unaffected by construction.
+	Mirror bool
 }
 
 // Outcome classifies how an application left the system.
@@ -161,6 +171,13 @@ type job struct {
 	expectedEnd units.Duration
 	finished    bool
 	result      AppResult
+
+	// Mapping-event generation stamps. A job was a candidate, was
+	// dropped, or was started in this mapping event iff the stamp equals
+	// the run's current generation; bumping the generation resets all
+	// three for every job at once, replacing the per-event maps the
+	// mapper bookkeeping used to allocate.
+	candGen, dropGen, startGen uint64
 }
 
 // Run executes one cluster simulation.
@@ -187,12 +204,19 @@ func Run(spec Spec) (Metrics, error) {
 		chooser = func(workload.App) core.Technique { return fixed }
 	}
 
+	// One contiguous backing array for the per-application state; jobs
+	// stay addressed through stable pointers, but the run allocates once
+	// instead of once per application.
+	backing := make([]job, len(spec.Pattern.Apps))
 	jobs := make([]*job, len(spec.Pattern.Apps))
+	byID := make(map[int]*job, len(spec.Pattern.Apps))
 	for i, app := range spec.Pattern.Apps {
 		if err := app.Validate(); err != nil {
 			return Metrics{}, err
 		}
-		jobs[i] = &job{app: app}
+		backing[i] = job{app: app}
+		jobs[i] = &backing[i]
+		byID[app.ID] = &backing[i]
 	}
 
 	c := &run{
@@ -200,12 +224,14 @@ func Run(spec Spec) (Metrics, error) {
 		mapper:  mapper,
 		chooser: chooser,
 		jobs:    jobs,
+		byID:    byID,
 		free:    spec.Machine.Nodes,
-		sim:     des.New(),
-		mapSrc:  rng.Stream(spec.Seed, 1_000_000_007),
+		sim:     des.NewPooled(),
 		m:       newClusterMetrics(spec.Obs),
 		rm:      resilience.NewMetrics(spec.Obs),
 	}
+	c.mapSrc.SetStream(spec.Seed, 1_000_000_007)
+	c.mapSrc.SetMirror(spec.Mirror)
 	c.sim.SetMetrics(des.NewMetrics(spec.Obs))
 	return c.execute()
 }
@@ -216,15 +242,27 @@ type run struct {
 	mapper  sched.Mapper
 	chooser TechniqueChooser
 	jobs    []*job
+	byID    map[int]*job // stable app-ID index, built once per run
 	queue   []*job
 	free    int
 	sim     *des.Simulator
-	mapSrc  *rng.Source
-	mapping bool // a mapping event is already pending at the current time
+	mapSrc  rng.Source
+	jobSrc  rng.Source // scratch source re-seeded per executor run
+	mapping bool       // a mapping event is already pending at the current time
+	mapGen  uint64     // current mapping-event generation (see job stamps)
 	peak    int
 	err     error
 	m       *clusterMetrics
 	rm      *resilience.Metrics
+	runtime *resilience.Runtime // engine+simulator shared by all executors
+
+	// mappingCb is the shared mapping-event callback, bound once.
+	mappingCb des.Callback
+
+	// cands and running are the mapper-argument buffers, reused across
+	// mapping events.
+	cands   []sched.Candidate
+	running []sched.Running
 
 	// busyIntegral accumulates used-node x time; busySince marks the last
 	// time the used count changed.
@@ -243,10 +281,26 @@ func (c *run) noteUtilization() {
 }
 
 func (c *run) execute() (Metrics, error) {
+	// All arrival events share one callback. Events fire in (time, seq)
+	// order and the arrivals are scheduled first, in job order, so the
+	// k-th arrival to fire is exactly the k-th index of a stable sort of
+	// the jobs by arrival time — identical to binding each job into its
+	// own closure, without the per-job allocation.
+	order := make([]int32, len(c.jobs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortStableFunc(order, func(a, b int32) int {
+		return cmp.Compare(c.jobs[a].app.Arrival, c.jobs[b].app.Arrival)
+	})
+	next := 0
+	arriveCb := func(*des.Simulator) {
+		j := c.jobs[order[next]]
+		next++
+		c.arrive(j)
+	}
 	for _, j := range c.jobs {
-		c.sim.Schedule(j.app.Arrival, "arrival", func(*des.Simulator) {
-			c.arrive(j)
-		})
+		c.sim.Schedule(j.app.Arrival, "arrival", arriveCb)
 	}
 	c.sim.Run()
 	if c.err != nil {
@@ -298,15 +352,19 @@ func (c *run) arrive(j *job) {
 
 // triggerMapping schedules a mapping event at the current instant unless
 // one is already pending, coalescing the burst of arrivals at time zero.
+// The callback is bound once and shared by every mapping event.
 func (c *run) triggerMapping() {
 	if c.mapping || c.err != nil {
 		return
 	}
 	c.mapping = true
-	c.sim.After(0, "mapping", func(*des.Simulator) {
-		c.mapping = false
-		c.mapEvent()
-	})
+	if c.mappingCb == nil {
+		c.mappingCb = func(*des.Simulator) {
+			c.mapping = false
+			c.mapEvent()
+		}
+	}
+	c.sim.After(0, "mapping", c.mappingCb)
 }
 
 // mapEvent runs the resource-management heuristic over the queue.
@@ -316,8 +374,13 @@ func (c *run) mapEvent() {
 	}
 	now := c.sim.Now()
 
-	byID := make(map[int]*job, len(c.queue))
-	cands := make([]sched.Candidate, 0, len(c.queue))
+	// One generation per mapping event: stamping a job's candGen /
+	// dropGen / startGen to gen replaces the byID / dropped / started
+	// maps this loop used to allocate per event.
+	c.mapGen++
+	gen := c.mapGen
+
+	cands := c.cands[:0]
 	viableQueue := c.queue[:0]
 	for _, j := range c.queue {
 		if j.exec == nil {
@@ -338,7 +401,7 @@ func (c *run) mapEvent() {
 			continue
 		}
 		viableQueue = append(viableQueue, j)
-		byID[j.app.ID] = j
+		j.candGen = gen
 		cands = append(cands, sched.Candidate{
 			ID:       j.app.ID,
 			Nodes:    j.phys,
@@ -347,42 +410,44 @@ func (c *run) mapEvent() {
 			Deadline: j.app.Deadline,
 		})
 	}
+	c.cands = cands
 	c.queue = viableQueue
 	if len(c.queue) == 0 {
 		return
 	}
 
 	c.m.observeMapEvent(len(c.queue))
-	var running []sched.Running
+	running := c.running[:0]
 	for _, j := range c.jobs {
 		if j.running {
 			running = append(running, sched.Running{Nodes: j.phys, ExpectedEnd: j.expectedEnd})
 		}
 	}
+	c.running = running
 	d := c.mapper.Map(sched.Context{
 		Now:       now,
 		FreeNodes: c.free,
 		Queue:     cands,
 		Running:   running,
-	}, c.mapSrc)
+	}, &c.mapSrc)
 
-	dropped := make(map[int]bool, len(d.Drop))
+	changed := 0
 	for _, id := range d.Drop {
-		j := byID[id]
-		if j == nil || dropped[id] {
+		j := c.byID[id]
+		if j == nil || j.candGen != gen || j.dropGen == gen {
 			continue
 		}
-		dropped[id] = true
+		j.dropGen = gen
+		changed++
 		c.resolve(j, AppResult{
 			App: j.app, Technique: j.tech, PhysNodes: j.phys,
 			Outcome: OutcomeDroppedQueued, End: now,
 		})
 	}
 
-	started := make(map[int]bool, len(d.Start))
 	for _, id := range d.Start {
-		j := byID[id]
-		if j == nil || dropped[id] || started[id] {
+		j := c.byID[id]
+		if j == nil || j.candGen != gen || j.dropGen == gen || j.startGen == gen {
 			continue
 		}
 		if j.phys > c.free {
@@ -391,16 +456,17 @@ func (c *run) mapEvent() {
 			c.sim.Stop()
 			return
 		}
-		started[id] = true
+		j.startGen = gen
+		changed++
 		c.start(j, now)
 	}
 
-	if len(dropped)+len(started) == 0 {
+	if changed == 0 {
 		return
 	}
 	remaining := c.queue[:0]
 	for _, j := range c.queue {
-		if !dropped[j.app.ID] && !started[j.app.ID] {
+		if j.dropGen != gen && j.startGen != gen {
 			remaining = append(remaining, j)
 		}
 	}
@@ -418,6 +484,12 @@ func (c *run) prepare(j *job) error {
 	j.exec = exec
 	j.phys = exec.PhysicalNodes()
 	resilience.Instrument(exec, c.rm)
+	// All of a run's executors fire strictly sequentially inside the
+	// cluster's event loop, so they share one engine and simulator.
+	if c.runtime == nil {
+		c.runtime = resilience.NewRuntime(c.rm)
+	}
+	resilience.AttachRuntime(exec, c.runtime)
 	return nil
 }
 
@@ -454,7 +526,12 @@ func (c *run) start(j *job, now units.Duration) {
 		}
 	}
 
-	res := j.exec.Run(now, horizon, rng.Stream(c.spec.Seed, uint64(j.app.ID)+1))
+	// The per-job stream is re-seeded into a run-owned scratch source:
+	// identical draws to rng.Stream(seed, ID+1), no allocation. Executors
+	// only read the source inside Run, so sequential jobs may share it.
+	c.jobSrc.SetStream(c.spec.Seed, uint64(j.app.ID)+1)
+	c.jobSrc.SetMirror(c.spec.Mirror)
+	res := j.exec.Run(now, horizon, &c.jobSrc)
 	end := res.End
 	outcome := OutcomeCompleted
 	if !res.Completed {

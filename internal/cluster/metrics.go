@@ -29,11 +29,16 @@ type clusterMetrics struct {
 }
 
 // newClusterMetrics registers the cluster series on r (nil r yields the
-// disabled bundle).
+// disabled bundle). The bundle is memoized per registry, so one sweep's
+// many cluster runs share a single registration pass.
 func newClusterMetrics(r *obs.Registry) *clusterMetrics {
 	if r == nil {
 		return nil
 	}
+	return r.Memo("cluster.Metrics", func() any { return newClusterMetricsLocked(r) }).(*clusterMetrics)
+}
+
+func newClusterMetricsLocked(r *obs.Registry) *clusterMetrics {
 	m := &clusterMetrics{
 		mapEvents: r.Counter("exaresil_cluster_mapper_invocations_total",
 			"resource-management mapping events"),

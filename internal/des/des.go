@@ -174,6 +174,20 @@ type Simulator struct {
 	// disabled: each hook is a nil-receiver no-op.
 	m Metrics
 
+	// tally batches the per-event observations locally while a bundle is
+	// attached; FlushMetrics (called automatically at Run/RunUntil/Reset
+	// boundaries) merges it into the shared atomic series. Batching turns
+	// three atomic operations per Schedule into plain integer adds on
+	// simulator-owned state — the single-goroutine contract makes the
+	// local counters safe, and boundary flushing keeps totals exact.
+	tally struct {
+		enabled                                   bool
+		scheduled, dispatched, canceled, recycled uint64
+		depthPeak                                 int64
+		depthSum                                  float64
+		depthBuckets                              []uint64
+	}
+
 	// Trace, when non-nil, observes every fired event.
 	Trace Tracer
 }
@@ -202,6 +216,7 @@ func NewPooled() *Simulator { return &Simulator{recycle: true} }
 // trials instead of reallocating engine state every trial. The Trace hook
 // is preserved.
 func (s *Simulator) Reset() {
+	s.FlushMetrics()
 	for _, e := range s.queue {
 		s.release(e)
 	}
@@ -256,17 +271,27 @@ func (s *Simulator) Schedule(at units.Duration, label string, fn Callback) *Even
 		s.pool[n-1] = nil
 		s.pool = s.pool[:n-1]
 		s.recycled++
-		s.m.Recycled.Inc()
+		s.tally.recycled++
 		*e = Event{at: at, seq: s.seq, fn: fn, label: label}
 	} else {
 		e = &Event{at: at, seq: s.seq, fn: fn, label: label}
 	}
 	s.seq++
 	s.queue.push(e)
-	s.m.Scheduled.Inc()
-	depth := int64(len(s.queue))
-	s.m.HeapDepthPeak.SetMax(depth)
-	s.m.HeapDepth.Observe(float64(depth))
+	if s.tally.enabled {
+		s.tally.scheduled++
+		depth := int64(len(s.queue))
+		if depth > s.tally.depthPeak {
+			s.tally.depthPeak = depth
+		}
+		// depthBuckets is empty when the attached bundle has no HeapDepth
+		// histogram (partially populated bundles in tests).
+		if len(s.tally.depthBuckets) > 0 {
+			fd := float64(depth)
+			s.tally.depthBuckets[s.m.HeapDepth.FindBucket(fd)]++
+			s.tally.depthSum += fd
+		}
+	}
 	return e
 }
 
@@ -285,7 +310,7 @@ func (s *Simulator) Cancel(e *Event) {
 	}
 	s.queue.remove(e.index)
 	s.release(e)
-	s.m.Canceled.Inc()
+	s.tally.canceled++
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -304,7 +329,7 @@ func (s *Simulator) Step() bool {
 	}
 	s.now = e.at
 	s.fired++
-	s.m.Dispatched.Inc()
+	s.tally.dispatched++
 	if s.Trace != nil {
 		s.Trace(e.at, e.label)
 	}
@@ -322,6 +347,7 @@ func (s *Simulator) Run() {
 	s.stopped = false
 	for !s.stopped && s.Step() {
 	}
+	s.FlushMetrics()
 }
 
 // RunUntil fires events with time <= horizon, then advances the clock to
@@ -336,5 +362,43 @@ func (s *Simulator) RunUntil(horizon units.Duration) {
 	}
 	if !s.stopped {
 		s.now = horizon
+	}
+	s.FlushMetrics()
+}
+
+// FlushMetrics merges the locally batched event tallies into the attached
+// bundle's shared atomic series. Run, RunUntil, Reset, and SetMetrics flush
+// automatically; only callers driving Step directly and reading the shared
+// series mid-simulation need to call it themselves. A no-op when no bundle
+// is attached.
+func (s *Simulator) FlushMetrics() {
+	t := &s.tally
+	if !t.enabled {
+		return
+	}
+	if t.scheduled != 0 {
+		s.m.Scheduled.Add(t.scheduled)
+		t.scheduled = 0
+	}
+	if t.dispatched != 0 {
+		s.m.Dispatched.Add(t.dispatched)
+		t.dispatched = 0
+	}
+	if t.canceled != 0 {
+		s.m.Canceled.Add(t.canceled)
+		t.canceled = 0
+	}
+	if t.recycled != 0 {
+		s.m.Recycled.Add(t.recycled)
+		t.recycled = 0
+	}
+	if t.depthPeak != 0 {
+		s.m.HeapDepthPeak.SetMax(t.depthPeak)
+		t.depthPeak = 0
+	}
+	if t.depthSum != 0 {
+		s.m.HeapDepth.AddBuckets(t.depthBuckets, t.depthSum)
+		clear(t.depthBuckets)
+		t.depthSum = 0
 	}
 }

@@ -24,11 +24,17 @@ type Metrics struct {
 }
 
 // NewMetrics registers the engine's series on r (nil r yields the disabled
-// bundle). Re-registration returns the same shared series.
+// bundle). Re-registration returns the same shared bundle: the whole table
+// is memoized per registry, so layers that construct one bundle per
+// simulation run pay a single cache hit instead of six series lookups.
 func NewMetrics(r *obs.Registry) *Metrics {
 	if r == nil {
 		return nil
 	}
+	return r.Memo("des.Metrics", func() any { return newMetrics(r) }).(*Metrics)
+}
+
+func newMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
 		Scheduled:     r.Counter("exaresil_des_events_scheduled_total", "events pushed onto the simulation queue"),
 		Dispatched:    r.Counter("exaresil_des_events_dispatched_total", "events fired by the simulation loop"),
@@ -41,10 +47,24 @@ func NewMetrics(r *obs.Registry) *Metrics {
 
 // SetMetrics attaches (or, with nil, detaches) an observability bundle.
 // Attachment never changes simulation behavior: the bundle only counts.
+// Tallies batched since the last flush are merged into the outgoing bundle
+// before the swap, and the local tally state is re-zeroed so the incoming
+// bundle never inherits pre-attachment events.
 func (s *Simulator) SetMetrics(m *Metrics) {
+	s.FlushMetrics()
+	t := &s.tally
+	t.scheduled, t.dispatched, t.canceled, t.recycled = 0, 0, 0, 0
+	t.depthPeak, t.depthSum = 0, 0
 	if m == nil {
 		s.m = Metrics{}
+		t.enabled = false
 		return
 	}
 	s.m = *m
+	t.enabled = true
+	if n := s.m.HeapDepth.NumBuckets(); n != len(t.depthBuckets) {
+		t.depthBuckets = make([]uint64, n)
+	} else {
+		clear(t.depthBuckets)
+	}
 }

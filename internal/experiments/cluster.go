@@ -24,6 +24,16 @@ type ClusterSpec struct {
 	Arrivals int
 	// Bias selects the pattern population (Figure 4 uses Unbiased).
 	Bias workload.Bias
+	// Paired switches the study to antithetic pattern pairs: pattern slot
+	// 2k and 2k+1 share the k-th generated arrival pattern and the k-th
+	// cluster seed, with the odd member's continuous draws mirrored
+	// (arrival gaps at generation time, failure inter-arrivals at run
+	// time; see rng.SetMirror). Pair means are negatively correlated, so
+	// the study reaches a given confidence width with fewer pattern slots
+	// than independent sampling — the variance-reduced mode behind the
+	// fig4_vr benchmark (DESIGN.md §11). An odd Patterns count leaves the
+	// last slot unpaired.
+	Paired bool
 	// Schedulers and Techniques enumerate the combinations (defaults:
 	// all three schedulers; Ideal plus the three cluster techniques).
 	Schedulers []core.Scheduler
@@ -78,13 +88,23 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 // between cells are attributable to the techniques alone.
 func (s ClusterSpec) patterns() []workload.Pattern {
 	out := make([]workload.Pattern, s.Patterns)
+	var src rng.Source
 	for p := range out {
 		spec := workload.PatternSpec{
 			Arrivals:   s.Arrivals,
 			Bias:       s.Bias,
 			FillSystem: true,
 		}
-		out[p] = spec.Generate(s.Machine, rng.Stream(s.Seed, uint64(p)))
+		if s.Paired {
+			// Slot pair 2k/2k+1 regenerates the same pattern stream, the
+			// odd member with mirrored continuous draws (antithetic
+			// arrival gaps; discrete size/class draws are unaffected).
+			src.SetStream(s.Seed, uint64(p/2))
+			src.SetMirror(p%2 == 1)
+		} else {
+			src.SetStream(s.Seed, uint64(p))
+		}
+		out[p] = spec.Generate(s.Machine, &src)
 	}
 	return out
 }
@@ -148,6 +168,12 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 				}
 				cb := combos[i/s.Patterns]
 				pattern := i % s.Patterns
+				seedSlot, mirror := pattern, false
+				if s.Paired {
+					// Both pair members run from the same cluster seed so
+					// their failure draws pair up stream for stream.
+					seedSlot, mirror = pattern/2, pattern%2 == 1
+				}
 				spec := cluster.Spec{
 					Machine:    s.Machine,
 					Model:      model,
@@ -156,7 +182,8 @@ func (s ClusterSpec) runCells(combos []comboSpec) ([]comboResult, error) {
 					Chooser:    cb.chooser,
 					Resilience: s.Resilience,
 					Pattern:    pats[pattern],
-					Seed:       s.Seed ^ (uint64(pattern+1) * 0xd1342543de82ef95),
+					Seed:       s.Seed ^ (uint64(seedSlot+1) * 0xd1342543de82ef95),
+					Mirror:     mirror,
 					Obs:        s.Obs,
 				}
 				m, err := cluster.Run(spec)

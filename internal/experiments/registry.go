@@ -42,6 +42,9 @@ type Params struct {
 	Patterns int
 	// Arrivals is the applications-per-pattern count for cluster exhibits.
 	Arrivals int
+	// Paired switches cluster exhibits (figures 4-5) to antithetic
+	// pattern pairs — the variance-reduced mode (see ClusterSpec.Paired).
+	Paired bool
 	// Selection tunes selector construction for fig5 (zero value = the
 	// driver defaults).
 	Selection selection.Options
@@ -91,13 +94,14 @@ var registry = []Exhibit{
 		}},
 	{Name: "fig4", Group: "paper", Chart: ChartCluster,
 		Run: func(cfg Config, p Params) (*report.Table, any, error) {
-			t, res, err := ClusterSpec{Config: cfg, Patterns: p.Patterns, Arrivals: p.Arrivals}.Run()
+			t, res, err := ClusterSpec{Config: cfg, Patterns: p.Patterns,
+				Arrivals: p.Arrivals, Paired: p.Paired}.Run()
 			return t, res, err
 		}},
 	{Name: "fig5", Group: "paper", Chart: ChartNone,
 		Run: func(cfg Config, p Params) (*report.Table, any, error) {
 			t, res, err := SelectionSpec{Config: cfg, Patterns: p.Patterns,
-				Arrivals: p.Arrivals, Selection: p.Selection}.Run()
+				Arrivals: p.Arrivals, Paired: p.Paired, Selection: p.Selection}.Run()
 			return t, res, err
 		}},
 	{Name: "ext-energy", Group: "ext", Chart: ChartNone,
@@ -138,6 +142,11 @@ var registry = []Exhibit{
 	{Name: "ext-machines", Group: "ext", Chart: ChartNone,
 		Run: func(cfg Config, p Params) (*report.Table, any, error) {
 			t, res, err := MachinesSpec{Config: cfg, Trials: p.Trials}.Run()
+			return t, res, err
+		}},
+	{Name: "ext-whatif", Group: "ext", Chart: ChartNone,
+		Run: func(cfg Config, p Params) (*report.Table, any, error) {
+			t, res, err := WhatIfSpec{Config: cfg}.Run()
 			return t, res, err
 		}},
 	{Name: "policy", Group: "ext", Chart: ChartNone,

@@ -25,6 +25,10 @@ type SelectionSpec struct {
 	// Baseline is the fixed technique compared against Selection
 	// (default: Parallel Recovery, the paper's most consistent winner).
 	Baseline core.Technique
+	// Paired runs the per-bias cluster grids with antithetic pattern
+	// pairs (see ClusterSpec.Paired). Pair it with
+	// Selection.PairedTrials to variance-reduce the selector build too.
+	Paired bool
 	// Selection tunes selector construction.
 	Selection selection.Options
 }
@@ -109,6 +113,7 @@ func (s SelectionSpec) Run() (*report.Table, SelectionResult, error) {
 			Patterns: s.Patterns,
 			Arrivals: s.Arrivals,
 			Bias:     bias,
+			Paired:   s.Paired,
 		}
 		cs.Progress = s.Progress.offset(cellBase)
 		combos := make([]comboSpec, 0, 2*len(s.Schedulers))

@@ -211,6 +211,19 @@ func (m *Model) Process(nodes int, src *rng.Source) *Process {
 	return &Process{model: m, nodes: nodes, rate: rate, src: src}
 }
 
+// Reinit re-arms an existing process in place over a (possibly different)
+// model, population, and source, clearing the process clock. It is exactly
+// equivalent to replacing the process with m.Process(nodes, src), without
+// the allocation: the resilience engine reuses one Process across the
+// thousands of sequential runs of a study.
+func (p *Process) Reinit(m *Model, nodes int, src *rng.Source) {
+	rate := 0.0
+	if nodes > 0 {
+		rate = float64(m.Rate(nodes))
+	}
+	*p = Process{model: m, nodes: nodes, rate: rate, src: src}
+}
+
 // Nodes reports the population size the process covers.
 func (p *Process) Nodes() int { return p.nodes }
 

@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+// TestDisabledHooksAllocationFree is the micro-guard behind the metrics
+// fast path: every hook a simulation hot loop may call on a disabled (nil)
+// registry or metric must compile down to a nil check and nothing else —
+// zero allocations per call. scripts/check.sh runs this under -race; if a
+// future change routes the disabled path through an interface box or a
+// lazily built label slice, the run count here turns it into a hard
+// failure instead of a silent allocs/op regression in BENCH_results.json.
+func TestDisabledHooksAllocationFree(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		f *FloatCounter
+		g *Gauge
+		h *Histogram
+	)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		f.Add(1.5)
+		g.Set(7)
+		g.Add(-2)
+		g.SetMax(9)
+		h.Observe(0.25)
+		_ = c.Value()
+		_ = f.Value()
+		_ = g.Value()
+		_ = h.Count()
+	}); allocs != 0 {
+		t.Fatalf("disabled metric hooks allocate %v times per run, want 0", allocs)
+	}
+	// Series lookups against a nil registry are on the same hot path
+	// (executors re-resolve metrics per run): they must return nil without
+	// touching the heap.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if r.Counter("c", "") != nil || r.FloatCounter("f", "") != nil ||
+			r.Gauge("g", "") != nil || r.Histogram("h", "", nil) != nil {
+			t.Fatal("nil registry built a metric")
+		}
+	}); allocs != 0 {
+		t.Fatalf("nil-registry lookups allocate %v times per run, want 0", allocs)
+	}
+}

@@ -108,11 +108,48 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// memo caches arbitrary registration bundles (see Memo). It has its
+	// own lock so a memoized build may itself register series or consult
+	// other memo keys without deadlocking.
+	memoMu sync.RWMutex
+	memo   map[string]any
 }
 
 // NewRegistry returns an empty, enabled registry.
 func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
+	return &Registry{families: map[string]*family{}, memo: map[string]any{}}
+}
+
+// Memo returns the value cached under key, calling build to produce it on
+// first use. Layers use it to register a whole metrics bundle exactly once
+// per registry instead of re-walking every get-or-create lookup on each
+// simulation run: the repeat path is one read-locked map hit.
+//
+// A nil registry returns nil without calling build, matching the
+// disabled-bundle convention of the constructors. build runs outside the
+// memo lock, so concurrent first calls may build twice; the first stored
+// value wins, which is sound because bundles built from the same registry
+// share all series storage anyway.
+func (r *Registry) Memo(key string, build func() any) any {
+	if r == nil {
+		return nil
+	}
+	r.memoMu.RLock()
+	v, ok := r.memo[key]
+	r.memoMu.RUnlock()
+	if ok {
+		return v
+	}
+	built := build()
+	r.memoMu.Lock()
+	if v, ok = r.memo[key]; ok {
+		built = v
+	} else {
+		r.memo[key] = built
+	}
+	r.memoMu.Unlock()
+	return built
 }
 
 // Enabled reports whether the registry records anything.
@@ -349,6 +386,63 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// NumBuckets reports the number of buckets including the implicit +Inf
+// bucket, i.e. len(bounds)+1. It is the required length of the counts
+// slice passed to AddBuckets. The nil histogram reports zero.
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+// FindBucket returns the bucket index Observe(v) would increment, in
+// [0, NumBuckets()). It lets hot loops tally observations into a local
+// array and merge once via AddBuckets instead of paying per-event atomics.
+// The nil histogram returns 0.
+func (h *Histogram) FindBucket(v float64) int {
+	if h == nil {
+		return 0
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
+// AddBuckets merges a locally tallied batch into the histogram: counts[i]
+// observations in bucket i (indexed as FindBucket) and sum as their total.
+// One AddBuckets equals the per-event Observe sequence it replaces — same
+// bucket counts, total count, and sum — at the cost of len(counts) atomic
+// adds and a single CAS instead of three atomics per event. It panics when
+// len(counts) != NumBuckets(); the nil histogram ignores the batch.
+func (h *Histogram) AddBuckets(counts []uint64, sum float64) {
+	if h == nil {
+		return
+	}
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("obs: AddBuckets with %d buckets, histogram has %d", len(counts), len(h.counts)))
+	}
+	var total uint64
+	for i, n := range counts {
+		if n != 0 {
+			h.counts[i].Add(n)
+			total += n
+		}
+	}
+	if total == 0 && sum == 0 {
+		return
+	}
+	h.count.Add(total)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sum)) {
 			return
 		}
 	}

@@ -126,11 +126,12 @@ type engine struct {
 
 	ckptRate float64 // compute rate sustained during checkpoints (0 = blocking)
 
-	// Callbacks are bound once per run and shared by every event they
+	// Callbacks are bound once per engine and shared by every event they
 	// drive; per-event closures were half the allocations of a study.
 	// The state a firing needs (the pending failure, the in-flight
 	// restart's level and cost) lives in the fields below, which is safe
 	// because at most one event of each kind is ever scheduled at a time.
+	cbAppStart      des.Callback
 	cbSegmentEnd    des.Callback
 	cbCheckpointEnd des.Callback
 	cbRestartEnd    des.Callback
@@ -157,12 +158,38 @@ func (e *engine) emit(kind TraceKind, mutate func(*TraceEvent)) {
 	e.observer(ev)
 }
 
-// runEngine executes one simulation run of strat against a failure model,
+// runEngine executes one simulation run of strat against a failure model
+// on a freshly allocated engine. The executors instead keep a persistent
+// engine and call its run method directly, reusing the bound callbacks and
+// the failure-process storage across sequential runs; both paths produce
+// identical results.
+func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator, tm *techMetrics) Result {
+	var e engine
+	return e.run(strat, model, start, horizon, src, ckptRate, obs, sim, tm)
+}
+
+// bind creates the engine's shared event callbacks. Each captures the
+// engine pointer once; run reuses them for every subsequent execution, so
+// a steady-state run schedules events with zero closure allocations.
+func (e *engine) bind() {
+	e.cbAppStart = func(*des.Simulator) {
+		e.emit(TraceStart, nil)
+		e.enterComputing()
+	}
+	e.cbSegmentEnd = func(*des.Simulator) { e.segmentEnd() }
+	e.cbCheckpointEnd = func(*des.Simulator) { e.checkpointEnd() }
+	e.cbRestartEnd = func(*des.Simulator) { e.restartEnd() }
+	e.cbFailure = func(*des.Simulator) { e.handleFailure(e.nextFailure) }
+}
+
+// run executes one simulation run of strat against a failure model,
 // reporting state transitions to obs when non-nil. sim may carry a warm
 // event pool from a previous run (the executor reuses one Simulator across
 // a worker's trials); it is Reset here, so any simulator — fresh or used —
-// produces the same run.
-func runEngine(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator, tm *techMetrics) Result {
+// produces the same run. The engine's own storage (bound callbacks, the
+// failure process) is likewise reused: every per-run field is
+// re-initialized below, so a warm engine and a zero one replay identically.
+func (e *engine) run(strat strategy, model *failures.Model, start, horizon units.Duration, src *rng.Source, ckptRate float64, obs Observer, sim *des.Simulator, tm *techMetrics) Result {
 	if horizon <= start {
 		panic(fmt.Sprintf("resilience: horizon %v not after start %v", horizon, start))
 	}
@@ -171,33 +198,47 @@ func runEngine(strat strategy, model *failures.Model, start, horizon units.Durat
 	}
 	sim.Reset()
 	strat.reset()
-	e := &engine{
-		sim:       sim,
-		strat:     strat,
-		proc:      model.Process(strat.physicalNodes(), src),
-		start:     start,
-		horizon:   horizon,
-		totalWork: strat.effectiveWork(),
-		interval:  strat.checkpointInterval(),
-		ckptRate:  ckptRate,
-		observer:  obs,
-		metrics:   tm,
+	if e.cbAppStart == nil {
+		e.bind()
 	}
-	e.cbSegmentEnd = func(*des.Simulator) { e.segmentEnd() }
-	e.cbCheckpointEnd = func(*des.Simulator) { e.checkpointEnd() }
-	e.cbRestartEnd = func(*des.Simulator) { e.restartEnd() }
-	e.cbFailure = func(*des.Simulator) { e.handleFailure(e.nextFailure) }
+	if e.proc == nil {
+		e.proc = model.Process(strat.physicalNodes(), src)
+	} else {
+		e.proc.Reinit(model, strat.physicalNodes(), src)
+	}
+	e.sim = sim
+	e.strat = strat
+	e.start = start
+	e.horizon = horizon
+	e.phase = phaseComputing
+	e.progress = 0
+	e.highWater = 0
+	e.totalWork = strat.effectiveWork()
+	e.interval = strat.checkpointInterval()
+	e.workSinceSync = 0
+	e.segStart = 0
+	e.segRate = 0
+	e.inRework = false
+	e.pending = nil
+	e.phaseStart = 0
+	e.ckptLevel = 0
+	e.ckptCost = 0
+	e.ckptSaved = 0
+	e.ckptRate = ckptRate
+	e.nextFailure = failures.Failure{}
+	e.restoreLevel = 0
+	e.restartCost = 0
+	e.observer = obs
+	e.metrics = tm
 	e.res = Result{
 		Technique:     strat.technique(),
 		Start:         start,
 		Baseline:      strat.app().Baseline(),
 		EffectiveWork: e.totalWork,
 	}
+	e.done = false
 
-	e.sim.Schedule(start, "app-start", func(*des.Simulator) {
-		e.emit(TraceStart, nil)
-		e.enterComputing()
-	})
+	e.sim.Schedule(start, "app-start", e.cbAppStart)
 	e.scheduleNextFailure()
 	e.sim.RunUntil(horizon)
 

@@ -87,6 +87,50 @@ type executor struct {
 	// runs. Executors are single-goroutine by contract, and Clone gives
 	// each parallel worker its own executor — and thus its own simulator.
 	sim *des.Simulator
+
+	// eng is the executor's reusable execution engine: its bound event
+	// callbacks and failure-process storage persist across sequential
+	// runs (Clone deliberately leaves it zero — the callbacks capture the
+	// original's engine address).
+	eng engine
+
+	// rt, when non-nil, overrides sim and eng with machinery shared among
+	// several executors (see Runtime): the cluster layer builds one
+	// executor per application and runs them strictly sequentially, so
+	// one engine and one simulator can serve the whole run.
+	rt *Runtime
+}
+
+// Runtime bundles the execution machinery — a pooled simulator and a
+// reusable engine — that a group of strictly sequential executors can
+// share. Building one executor per application was dominated not by the
+// strategy math but by this machinery (bound callbacks, event pool,
+// failure-process storage); sharing it makes executor construction cheap.
+// A Runtime is single-goroutine like the executors themselves: never share
+// one across concurrent workers.
+type Runtime struct {
+	sim *des.Simulator
+	eng engine
+}
+
+// NewRuntime creates a shared runtime, attaching m's engine-simulator
+// series (nil m leaves the simulator uninstrumented).
+func NewRuntime(m *Metrics) *Runtime {
+	rt := &Runtime{sim: des.NewPooled()}
+	rt.sim.SetMetrics(m.desMetrics())
+	return rt
+}
+
+// AttachRuntime points the executor at shared machinery, reporting whether
+// the executor supports it (the Ideal executor does not — it never
+// simulates). Attach before the first Run; the executor then schedules all
+// its runs on the runtime's simulator and engine.
+func AttachRuntime(x Executor, rt *Runtime) bool {
+	e, ok := x.(*executor)
+	if ok {
+		e.rt = rt
+	}
+	return ok
 }
 
 // Technique implements Executor.
@@ -128,11 +172,15 @@ func (x *executor) Run(start, horizon units.Duration, src *rng.Source) Result {
 			EffectiveWork: x.strat.effectiveWork(),
 		}
 	}
+	if x.rt != nil {
+		return x.rt.eng.run(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.rt.sim,
+			x.metrics.forTechnique(x.strat.technique()))
+	}
 	if x.sim == nil {
 		x.sim = des.NewPooled()
 		x.sim.SetMetrics(x.metrics.desMetrics())
 	}
-	return runEngine(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.sim,
+	return x.eng.run(x.strat, x.model, start, horizon, src, x.ckptRate, x.observer, x.sim,
 		x.metrics.forTechnique(x.strat.technique()))
 }
 

@@ -22,6 +22,9 @@ import (
 // for concurrent use; give each goroutine its own Source via Fork or Stream.
 type Source struct {
 	s [4]uint64
+	// mirror antithetically reflects the uniform draws (Float64 returns
+	// 1-U instead of U); see SetMirror in substream.go.
+	mirror bool
 }
 
 // splitmix64 advances a 64-bit state and returns the next output. It is
@@ -84,7 +87,14 @@ func Stream(seed uint64, i uint64) *Source {
 // Float64 returns a uniformly distributed value in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high bits give a uniform dyadic rational in [0,1).
-	return float64(r.Uint64()>>11) / (1 << 53)
+	u := r.Uint64() >> 11
+	if r.mirror {
+		// Antithetic reflection on the dyadic grid: U' = (2^53-1-u)/2^53,
+		// so U + U' == 1 - 2^-53 exactly and U' stays inside [0, 1),
+		// keeping Exp's log argument finite.
+		u = 1<<53 - 1 - u
+	}
+	return float64(u) / (1 << 53)
 }
 
 // Uniform returns a uniformly distributed value in [lo, hi). It panics if
@@ -98,6 +108,14 @@ func (r *Source) Uniform(lo, hi float64) float64 {
 
 // Intn returns a uniformly distributed integer in [0, n). It panics if
 // n <= 0. Lemire's multiply-shift rejection method avoids modulo bias.
+//
+// A mirrored source (SetMirror) reflects the result to n-1-i. Reflection
+// is a bijection on [0, n), so the marginal distribution is unchanged,
+// but a draw over an ordered population (ascending application sizes,
+// baseline durations) becomes antithetic to its twin's — the mechanism
+// that lets paired cluster studies anti-correlate their workload
+// composition. The rejection loop consumes raw Uint64 values identically
+// either way, so mirrored and plain twins stay in lockstep.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("rng: Intn called with n=%d", n))
@@ -106,7 +124,11 @@ func (r *Source) Intn(n int) int {
 	for {
 		hi, lo := bits.Mul64(r.Uint64(), bound)
 		if lo >= bound || lo >= (-bound)%bound {
-			return int(hi)
+			i := int(hi)
+			if r.mirror {
+				i = n - 1 - i
+			}
+			return i
 		}
 	}
 }
@@ -125,12 +147,19 @@ func (r *Source) Exp(rate float64) float64 {
 // Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// consuming exactly the draws Perm(len(p)) would; hot loops reuse one
+// buffer instead of allocating a permutation per call.
+func (r *Source) PermInto(p []int) {
 	for i := range p {
 		j := r.Intn(i + 1)
 		p[i] = p[j]
 		p[j] = i
 	}
-	return p
 }
 
 // Shuffle pseudo-randomizes the order of n elements using the provided

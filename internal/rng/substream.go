@@ -1,0 +1,103 @@
+package rng
+
+// This file implements the variance-reduction substream machinery of the
+// second raw-speed pass (DESIGN.md §11): numbered per-(cell, trial)
+// substreams derived purely from a spec-keyed seed, in-place re-seeding so
+// trial loops reuse one Source with zero allocations, and antithetic
+// mirroring (U -> 1-U) for paired trials.
+//
+// Derivation scheme. SubSeed hashes (seed, cell, trial) through two rounds
+// of splitmix64 with distinct odd multipliers on each coordinate:
+//
+//	s1 = splitmix64(seed ^ 0xff51afd7ed558ccd*(cell+1))
+//	s2 = splitmix64(s1   ^ 0xa3c59ac2b54d4d69*(trial+1))
+//
+// Two properties matter. First, the derivation is pure: SubSeed(seed, c, t)
+// names the same stream no matter which goroutine computes it or in what
+// order, so parallel trial runners are bit-identical to serial ones.
+// Second, coordinates are mixed in separate rounds, so neighbouring cells
+// and neighbouring trials land in statistically independent streams (the
+// rng tests measure cross-stream correlation).
+//
+// The trial-coordinate multiplier and round are shared with Stream, making
+// SubSeed(seed, cell, trial) == seed' such that Stream-compatibility holds:
+// SubStream(seed, c, t) equals Stream(splitmix64(seed ^ Mc*(c+1)), t) --
+// a cell is exactly a numbered family of ordinary streams.
+
+// subSeedCellMult and subSeedTrialMult are the per-coordinate odd
+// multipliers of the substream derivation. The trial multiplier is the one
+// Stream already uses; the cell multiplier is the MurmurHash3 finalizer
+// constant, chosen for having no algebraic relation to the other.
+const (
+	subSeedCellMult  = 0xff51afd7ed558ccd
+	subSeedTrialMult = 0xa3c59ac2b54d4d69
+)
+
+// CellSeed collapses (seed, cell) into the seed of the cell's stream
+// family: Stream(CellSeed(seed, c), t) == SubStream(seed, c, t). Selection
+// probes use it to hand every technique arm of a grid cell the same family
+// of failure draws (common random numbers).
+func CellSeed(seed, cell uint64) uint64 {
+	sm := seed ^ subSeedCellMult*(cell+1)
+	return splitmix64(&sm)
+}
+
+// SubSeed derives the xoshiro seed of the (cell, trial) substream.
+func SubSeed(seed, cell, trial uint64) uint64 {
+	sm := CellSeed(seed, cell) ^ subSeedTrialMult*(trial+1)
+	return splitmix64(&sm)
+}
+
+// SubStream returns the (cell, trial) substream of a spec-keyed seed. Like
+// Stream it is stateless: equal coordinates always name the same stream.
+func SubStream(seed, cell, trial uint64) *Source {
+	src := &Source{}
+	src.SetSubStream(seed, cell, trial)
+	return src
+}
+
+// Seed re-seeds the Source in place, exactly as New(seed) would have
+// initialized it, and clears any antithetic mirroring. Trial loops use it
+// to reuse one Source across thousands of streams without allocating.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	if r.s == [4]uint64{} {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.mirror = false
+}
+
+// SetStream re-seeds the Source in place to the i-th numbered substream of
+// seed; Stream(seed, i) and a SetStream(seed, i) Source produce identical
+// output. Mirroring is cleared.
+func (r *Source) SetStream(seed uint64, i uint64) {
+	sm := seed ^ subSeedTrialMult*(i+1)
+	r.Seed(splitmix64(&sm))
+}
+
+// SetSubStream re-seeds the Source in place to the (cell, trial) substream
+// of seed. Mirroring is cleared.
+func (r *Source) SetSubStream(seed, cell, trial uint64) {
+	r.Seed(SubSeed(seed, cell, trial))
+}
+
+// SetMirror switches antithetic mirroring on or off. A mirrored Source
+// returns 1-U (to the resolution of the 53-bit mantissa) wherever the
+// unmirrored Source would return U: Float64 and everything built on it
+// (Uniform, Exp, Weibull, Bool) draw from the reflected uniform, and Intn
+// reflects its result to n-1-i — a bijection, so uniformity is preserved,
+// but draws over ordered populations become antithetic (see Intn). The
+// raw bit stream (Uint64) and the order-structured draws built on it
+// (Perm, Shuffle) are unaffected: reflecting a permutation index would
+// not anti-correlate anything meaningful.
+//
+// Mirroring never changes how much state the generator consumes: a
+// mirrored Source and its plain twin stay in lockstep draw for draw, which
+// is what makes the pair's two runs structurally comparable.
+func (r *Source) SetMirror(m bool) { r.mirror = m }
+
+// Mirrored reports whether the source is antithetically mirrored.
+func (r *Source) Mirrored() bool { return r.mirror }

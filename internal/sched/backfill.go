@@ -18,16 +18,21 @@ import (
 // later applications that either finish (by their baseline estimate)
 // before the shadow time or fit within the nodes the head will leave
 // spare, so the head's implicit reservation is never delayed.
-type backfillMapper struct{}
+type backfillMapper struct {
+	sorted []Candidate
+	start  []int
+}
 
 // Kind implements Mapper.
-func (backfillMapper) Kind() core.Scheduler { return core.EASYBackfill }
+func (*backfillMapper) Kind() core.Scheduler { return core.EASYBackfill }
 
 // Map implements Mapper.
-func (backfillMapper) Map(ctx Context, _ *rng.Source) Decision {
+func (m *backfillMapper) Map(ctx Context, _ *rng.Source) Decision {
 	free := ctx.FreeNodes
-	ordered := byArrival(ctx.Queue)
-	var d Decision
+	m.sorted = byArrivalInto(m.sorted[:0], ctx.Queue)
+	ordered := m.sorted
+	d := Decision{Start: m.start[:0]}
+	defer func() { m.start = d.Start[:0] }()
 
 	// Phase 1: plain FCFS placement until the first blocker.
 	i := 0

@@ -11,9 +11,10 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"exaresil/internal/core"
 	"exaresil/internal/rng"
@@ -74,6 +75,14 @@ type Decision struct {
 
 // Mapper decides which queued applications start at a mapping event.
 // Mappers must be deterministic given (ctx, src).
+//
+// Mappers own internal scratch buffers sized to the working queue, so one
+// mapper instance serves a whole simulation run with no per-event
+// allocation. Two contract points follow: a Mapper is not safe for
+// concurrent use (parallel runs construct one each via New), and the
+// slices inside a returned Decision are valid only until the next Map
+// call on the same mapper — callers consume them immediately, as the
+// cluster layer does.
 type Mapper interface {
 	// Kind identifies the heuristic.
 	Kind() core.Scheduler
@@ -86,13 +95,13 @@ type Mapper interface {
 func New(kind core.Scheduler) (Mapper, error) {
 	switch kind {
 	case core.FCFS:
-		return fcfsMapper{}, nil
+		return &fcfsMapper{}, nil
 	case core.RandomOrder:
-		return randomMapper{}, nil
+		return &randomMapper{}, nil
 	case core.SlackBased:
-		return slackMapper{}, nil
+		return &slackMapper{}, nil
 	case core.EASYBackfill:
-		return backfillMapper{}, nil
+		return &backfillMapper{}, nil
 	default:
 		return nil, fmt.Errorf("sched: unknown scheduler %v", kind)
 	}
@@ -110,50 +119,69 @@ func MustNew(kind core.Scheduler) Mapper {
 // fcfsMapper implements strict first-come-first-served: applications are
 // placed in arrival order until the first one that does not fit, which
 // blocks everything behind it (no backfilling), as in Section III-D1.
-type fcfsMapper struct{}
+type fcfsMapper struct {
+	sorted []Candidate
+	start  []int
+}
 
-func (fcfsMapper) Kind() core.Scheduler { return core.FCFS }
+func (*fcfsMapper) Kind() core.Scheduler { return core.FCFS }
 
-func (fcfsMapper) Map(ctx Context, _ *rng.Source) Decision {
+func (m *fcfsMapper) Map(ctx Context, _ *rng.Source) Decision {
 	free := ctx.FreeNodes
-	var d Decision
-	for _, c := range byArrival(ctx.Queue) {
+	m.sorted = byArrivalInto(m.sorted[:0], ctx.Queue)
+	start := m.start[:0]
+	for _, c := range m.sorted {
 		if c.Nodes > free {
 			break // strict FCFS: later arrivals wait behind the blocker
 		}
 		free -= c.Nodes
-		d.Start = append(d.Start, c.ID)
+		start = append(start, c.ID)
 	}
-	return d
+	m.start = start
+	return Decision{Start: start}
 }
 
 // randomMapper implements Section III-D2: applications are considered in
 // uniformly random order; each is placed if it fits and otherwise returned
 // to the queue, and the pass continues until every application has been
 // considered once.
-type randomMapper struct{}
+type randomMapper struct {
+	perm  []int
+	start []int
+}
 
-func (randomMapper) Kind() core.Scheduler { return core.RandomOrder }
+func (*randomMapper) Kind() core.Scheduler { return core.RandomOrder }
 
-func (randomMapper) Map(ctx Context, src *rng.Source) Decision {
+func (m *randomMapper) Map(ctx Context, src *rng.Source) Decision {
 	free := ctx.FreeNodes
-	var d Decision
-	for _, i := range src.Perm(len(ctx.Queue)) {
+	if n := len(ctx.Queue); cap(m.perm) < n {
+		m.perm = make([]int, n)
+	} else {
+		m.perm = m.perm[:n]
+	}
+	src.PermInto(m.perm)
+	start := m.start[:0]
+	for _, i := range m.perm {
 		c := ctx.Queue[i]
 		if c.Nodes <= free {
 			free -= c.Nodes
-			d.Start = append(d.Start, c.ID)
+			start = append(start, c.ID)
 		}
 	}
-	return d
+	m.start = start
+	return Decision{Start: start}
 }
 
 // slackMapper implements Section III-D3: applications with negative slack
 // are dropped, the rest are considered in increasing-slack order, placing
 // each that fits and returning the others to the queue.
-type slackMapper struct{}
+type slackMapper struct {
+	viable []Candidate
+	start  []int
+	drop   []int
+}
 
-func (slackMapper) Kind() core.Scheduler { return core.SlackBased }
+func (*slackMapper) Kind() core.Scheduler { return core.SlackBased }
 
 // sortSlack is the slack ordering key. Deadline-free candidates are exempt
 // from the negative-slack drop, and they must also be exempt from the raw
@@ -168,39 +196,40 @@ func sortSlack(c Candidate, now units.Duration) units.Duration {
 	return c.Slack(now)
 }
 
-func (slackMapper) Map(ctx Context, _ *rng.Source) Decision {
-	var d Decision
+func (m *slackMapper) Map(ctx Context, _ *rng.Source) Decision {
 	free := ctx.FreeNodes
-	viable := make([]Candidate, 0, len(ctx.Queue))
+	viable := m.viable[:0]
+	drop := m.drop[:0]
+	start := m.start[:0]
 	for _, c := range ctx.Queue {
 		if c.Deadline > 0 && c.Slack(ctx.Now) < 0 {
-			d.Drop = append(d.Drop, c.ID)
+			drop = append(drop, c.ID)
 			continue
 		}
 		viable = append(viable, c)
 	}
-	sort.SliceStable(viable, func(i, j int) bool {
-		return sortSlack(viable[i], ctx.Now) < sortSlack(viable[j], ctx.Now)
+	slices.SortStableFunc(viable, func(a, b Candidate) int {
+		return cmp.Compare(sortSlack(a, ctx.Now), sortSlack(b, ctx.Now))
 	})
 	for _, c := range viable {
 		if c.Nodes <= free {
 			free -= c.Nodes
-			d.Start = append(d.Start, c.ID)
+			start = append(start, c.ID)
 		}
 	}
-	return d
+	m.viable, m.drop, m.start = viable, drop, start
+	return Decision{Start: start, Drop: drop}
 }
 
-// byArrival returns the queue sorted by (arrival, ID) without mutating the
-// input.
-func byArrival(queue []Candidate) []Candidate {
-	out := make([]Candidate, len(queue))
-	copy(out, queue)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Arrival != out[j].Arrival {
-			return out[i].Arrival < out[j].Arrival
+// byArrivalInto appends the queue to dst sorted by (arrival, ID) without
+// mutating the input.
+func byArrivalInto(dst, queue []Candidate) []Candidate {
+	dst = append(dst, queue...)
+	slices.SortStableFunc(dst, func(a, b Candidate) int {
+		if a.Arrival != b.Arrival {
+			return cmp.Compare(a.Arrival, b.Arrival)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
-	return out
+	return dst
 }

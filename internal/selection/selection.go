@@ -35,8 +35,19 @@ type Options struct {
 	// SizeFractions is the probing grid; nil means the cluster-study
 	// size population.
 	SizeFractions []float64
-	// Trials is the number of Monte-Carlo probes per cell (default 20).
+	// Trials is the number of Monte-Carlo probes per cell per technique
+	// (default 20 when PairedTrials is zero). Mutually exclusive with
+	// PairedTrials; negative values are rejected.
 	Trials int
+	// PairedTrials, when positive, switches probing to variance-reduced
+	// mode: each technique runs 2*PairedTrials probes as PairedTrials
+	// antithetic pairs, and all technique arms of a cell share the same
+	// cell-keyed random streams (common random numbers), so arm
+	// differences are measured on identical failure draws. The table
+	// typically reaches a given confidence width with far fewer probes
+	// than the default mode; DESIGN.md §11 details the construction.
+	// Mutually exclusive with Trials; negative values are rejected.
+	PairedTrials int
 	// TimeSteps is the probe application length (default 1440, one day).
 	TimeSteps int
 	// HorizonFactor bounds probe runs as a multiple of the baseline
@@ -63,7 +74,7 @@ func (o Options) withDefaults() Options {
 	if o.SizeFractions == nil {
 		o.SizeFractions = workload.DefaultSizeFractions()
 	}
-	if o.Trials == 0 {
+	if o.Trials == 0 && o.PairedTrials == 0 {
 		o.Trials = 20
 	}
 	if o.TimeSteps == 0 {
@@ -118,6 +129,16 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 	}
 	if err := rc.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Trials < 0 {
+		return nil, fmt.Errorf("selection: trial count %d must be non-negative", opts.Trials)
+	}
+	if opts.PairedTrials < 0 {
+		return nil, fmt.Errorf("selection: paired trial count %d must be non-negative", opts.PairedTrials)
+	}
+	if opts.Trials > 0 && opts.PairedTrials > 0 {
+		return nil, fmt.Errorf("selection: Trials (%d) and PairedTrials (%d) are mutually exclusive",
+			opts.Trials, opts.PairedTrials)
 	}
 	opts = opts.withDefaults()
 	if len(opts.Techniques) == 0 {
@@ -181,7 +202,7 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 					return
 				}
 				choices[i], errs[i] = probeCell(cfg, model, rc, opts, cells[i].class, cells[i].frac,
-					uint64(i)*uint64(len(opts.Techniques)), innerWorkers)
+					uint64(i), innerWorkers)
 			}
 		}()
 	}
@@ -197,16 +218,21 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 }
 
 // probeCell evaluates every candidate technique on one (class, fraction)
-// grid cell. probeBase numbers the cell's first probe; the k-th candidate
-// uses probe number probeBase+k, so seeds depend only on grid position.
+// grid cell. cellIndex is the cell's position in the flattened class-major
+// grid; in the default mode the k-th candidate uses probe number
+// cellIndex*len(techniques)+k, so seeds depend only on grid position. In
+// paired mode (Options.PairedTrials > 0) every candidate instead shares the
+// cell-keyed substream family (common random numbers) and runs its trials
+// as antithetic pairs.
 func probeCell(cfg machine.Config, model *failures.Model, rc resilience.Config, opts Options,
-	class workload.Class, frac float64, probeBase uint64, workers int) (Choice, error) {
+	class workload.Class, frac float64, cellIndex uint64, workers int) (Choice, error) {
 	app := workload.App{
 		ID:        0,
 		Class:     class,
 		TimeSteps: opts.TimeSteps,
 		Nodes:     cfg.NodesForFraction(frac),
 	}
+	probeBase := cellIndex * uint64(len(opts.Techniques))
 	choice := Choice{Class: class, Fraction: frac, Best: opts.Techniques[0]}
 	bestEff := math.Inf(-1)
 	for ti, tech := range opts.Techniques {
@@ -215,13 +241,24 @@ func probeCell(cfg machine.Config, model *failures.Model, rc resilience.Config, 
 			return Choice{}, fmt.Errorf("selection: probing %v on %s@%.0f%%: %w",
 				tech, class.Name, 100*frac, err)
 		}
-		st := appsim.Run(appsim.TrialSpec{
+		spec := appsim.TrialSpec{
 			Executor:      x,
-			Trials:        opts.Trials,
-			Seed:          opts.Seed ^ ((probeBase + uint64(ti)) * 0x9e3779b97f4a7c15),
 			HorizonFactor: opts.HorizonFactor,
 			Workers:       workers,
-		})
+		}
+		if opts.PairedTrials > 0 {
+			// Every arm runs on the same (Seed, Cell) stream family, so the
+			// arms see identical failure draws and their efficiency
+			// difference is measured with common random numbers.
+			spec.Trials = 2 * opts.PairedTrials
+			spec.Seed = opts.Seed
+			spec.Cell = cellIndex
+			spec.Antithetic = true
+		} else {
+			spec.Trials = opts.Trials
+			spec.Seed = opts.Seed ^ ((probeBase + uint64(ti)) * 0x9e3779b97f4a7c15)
+		}
+		st := appsim.Run(spec)
 		choice.Efficiency = append(choice.Efficiency, st.Efficiency.Mean)
 		if st.Efficiency.Mean > bestEff {
 			bestEff = st.Efficiency.Mean

@@ -193,3 +193,76 @@ func TestParallelConstructionMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+func TestOptionsTrialValidation(t *testing.T) {
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	rc := resilience.DefaultConfig()
+	bad := []Options{
+		{Trials: -1},
+		{PairedTrials: -2},
+		{Trials: 4, PairedTrials: 2}, // mutually exclusive
+	}
+	for _, opts := range bad {
+		if _, err := NewSelector(cfg, model, rc, opts); err == nil {
+			t.Errorf("Options %+v accepted, want an error", opts)
+		}
+	}
+}
+
+func TestOptionsTrialDefaulting(t *testing.T) {
+	// The zero trial configuration must fall back to the documented 20
+	// probes per arm, not degenerate to zero (a zero-trial appsim run
+	// panics, so a successful build proves the default applied).
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	s, err := NewSelector(cfg, model, resilience.DefaultConfig(), Options{
+		TimeSteps:     360,
+		SizeFractions: []float64{0.25},
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Choices()); got != 8 {
+		t.Fatalf("defaulted selector has %d cells, want 8", got)
+	}
+}
+
+func TestPairedTrialsDeterministicAcrossWorkers(t *testing.T) {
+	// Variance-reduced probing must keep the worker-count invariance of
+	// the default mode: probe streams are keyed by grid position, never
+	// by completion order.
+	build := func(workers int) *Selector {
+		t.Helper()
+		cfg := machine.Exascale()
+		model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+		s, err := NewSelector(cfg, model, resilience.DefaultConfig(), Options{
+			PairedTrials:  2,
+			TimeSteps:     360,
+			SizeFractions: []float64{0.01, 0.25},
+			Seed:          42,
+			Workers:       workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial, parallel := build(1), build(8)
+	cs, cp := serial.Choices(), parallel.Choices()
+	if len(cs) != len(cp) {
+		t.Fatalf("table sizes differ: %d vs %d", len(cs), len(cp))
+	}
+	for i := range cs {
+		if cs[i].Best != cp[i].Best {
+			t.Errorf("cell %d: serial best %v vs parallel best %v", i, cs[i].Best, cp[i].Best)
+		}
+		for j := range cs[i].Efficiency {
+			if cs[i].Efficiency[j] != cp[i].Efficiency[j] {
+				t.Errorf("cell %d technique %d: efficiency %v vs %v",
+					i, j, cs[i].Efficiency[j], cp[i].Efficiency[j])
+			}
+		}
+	}
+}

@@ -5,9 +5,15 @@
 #   1. go vet over every package
 #   2. the tier-1 verification (build + full test suite)
 #   3. the race detector over the concurrency-bearing packages
-#   4. cmd/exabench, writing BENCH_results.json at the repo root; the
-#      fig4 vs fig4_metrics pair in that file records the obs-layer
-#      overhead (disabled hooks vs an attached registry)
+#   4. cmd/exabench, writing BENCH_results.json at the repo root, stamped
+#      with the current git commit and a UTC timestamp so every recorded
+#      run is attributable; the fig4 vs fig4_metrics pair in that file
+#      records the obs-layer overhead (disabled hooks vs an attached
+#      registry), and the fig4/fig5 vs fig4_vr/fig5_vr pairs record the
+#      variance-reduced modes (DESIGN.md §11)
+#
+# The script fails loudly if exabench produced no results (an unmatched
+# -run filter, or a crash that left a stale file behind).
 #
 # Usage: scripts/bench.sh [exabench flags...]
 # e.g.:  scripts/bench.sh -run fig4
@@ -34,4 +40,8 @@ go test -race -count=1 \
     ./internal/cluster/
 
 echo "== exabench -> BENCH_results.json"
-go run ./cmd/exabench -out BENCH_results.json "$@"
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+rm -f BENCH_results.json
+go run ./cmd/exabench -out BENCH_results.json -commit "$COMMIT" "$@"
+grep -q '"name"' BENCH_results.json 2>/dev/null \
+  || { echo "bench.sh: BENCH_results.json has no benchmark results" >&2; exit 1; }

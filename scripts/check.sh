@@ -5,11 +5,12 @@
 #   1. go vet over every package, plus doc hygiene: every internal
 #      package carries a package comment and gofmt has nothing to say
 #   2. the race detector over the audit harness, the cluster layer, the
-#      obs metrics package, the shared experiments registry, and the
-#      service stack — serve, chaos injector, retrying client (pins the
-#      seed-determinism, metrics-attachment-is-inert,
-#      single-flight/backpressure, and checkpoint/resume tests under
-#      -race)
+#      obs metrics package, the shared experiments registry, the
+#      service stack — serve, chaos injector, retrying client — and the
+#      hot-path packages of the raw-speed passes: selection, analytic,
+#      rng (pins the seed-determinism, metrics-attachment-is-inert,
+#      single-flight/backpressure, checkpoint/resume, substream, and
+#      disabled-hooks-allocation-free tests under -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
 #      schedule search, and the workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
@@ -17,6 +18,9 @@
 #   5. the golden-exhibit digest comparison against results/golden/
 #   6. a short chaos soak: exaserve -chaos vs the retrying exasoak client
 #      (scripts/chaos_soak.sh; set SOAK_REQUESTS=0 to skip)
+#   7. opt-in: with BENCH_BASELINE=path/to/BENCH_results.json set, rerun
+#      the exhibit benchmarks and fail on any >10% time or allocation
+#      regression against that report (cmd/exabench -baseline)
 #
 # Usage: scripts/check.sh [exacheck flags...]
 # e.g.:  scripts/check.sh -quick
@@ -40,7 +44,8 @@ UNFMT=$(gofmt -l .)
 
 echo "== race detector on the audit harness, cluster layer, metrics, registry, and service stack"
 go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
-	./internal/experiments/ ./internal/serve/... ./internal/chaos/ ./internal/serveclient/
+	./internal/experiments/ ./internal/serve/... ./internal/chaos/ ./internal/serveclient/ \
+	./internal/selection/ ./internal/analytic/ ./internal/rng/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
@@ -56,4 +61,9 @@ go run ./cmd/exacheck golden
 if [ "${SOAK_REQUESTS:-8}" != "0" ]; then
   echo "== chaos soak"
   SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/chaos_soak.sh
+fi
+
+if [ -n "${BENCH_BASELINE:-}" ]; then
+  echo "== bench regression gate vs ${BENCH_BASELINE}"
+  go run ./cmd/exabench -baseline "$BENCH_BASELINE" -out "$(mktemp)"
 fi
