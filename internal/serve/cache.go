@@ -21,26 +21,51 @@ type flight struct {
 	aborted  bool   // all jobs canceled while still queued: worker skips it
 	running  bool
 	finished bool
-	stop     context.CancelFunc // cancels the execution context, set when running
+	stop     context.CancelCauseFunc // cancels the execution context, set when running
 	res      *Result
 	err      error
 }
 
-// attach subscribes a job to the flight. When the flight already finished
-// (the execution outran the submitter), the job is finalized from the
-// flight's outcome instead.
-func (f *flight) attach(j *Job, now time.Time) (settled bool) {
+// attachResult is the outcome of subscribing a job to a flight.
+type attachResult int
+
+const (
+	// attachJoined: the job now shares the flight's eventual outcome.
+	attachJoined attachResult = iota
+	// attachSettled: the flight already finished (the execution outran the
+	// submitter); the caller finalizes the job from the flight's outcome.
+	attachSettled
+	// attachDead: every earlier subscriber canceled and the flight was
+	// aborted before this job could join. A dead flight never settles, so
+	// joining it would leave the job queued forever — the caller must
+	// retry with a fresh flight instead.
+	attachDead
+)
+
+// attach subscribes a job to the flight.
+func (f *flight) attach(j *Job, now time.Time) attachResult {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.finished {
-		return true
+		return attachSettled
+	}
+	if f.aborted && !f.running {
+		return attachDead
 	}
 	f.jobs = append(f.jobs, j)
 	f.live++
 	if f.running {
 		j.markRunning(now)
 	}
-	return false
+	return attachJoined
+}
+
+// dead reports whether the flight was aborted before running — a corpse
+// no worker will execute and no settle will ever finalize.
+func (f *flight) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.aborted && !f.running
 }
 
 // outcome reads the finished flight's result.
@@ -80,14 +105,14 @@ func (f *flight) detach() detachAction {
 		return detachAborted
 	}
 	if f.stop != nil {
-		f.stop()
+		f.stop(context.Canceled)
 	}
 	return detachStopped
 }
 
 // begin marks the flight running and flips every attached job to Running.
 // It reports false for abandoned flights, which the worker skips.
-func (f *flight) begin(stop context.CancelFunc, now time.Time) bool {
+func (f *flight) begin(stop context.CancelCauseFunc, now time.Time) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.aborted {
@@ -101,11 +126,39 @@ func (f *flight) begin(stop context.CancelFunc, now time.Time) bool {
 	return true
 }
 
+// kill aborts the flight in place — the replica hosting it is being torn
+// down. A running flight has its execution context canceled and settles
+// through the worker's ctx.Done path; for those, kill reports handled.
+// A queued flight is marked aborted (a worker that still pops it skips
+// it) and reports unhandled: the caller must settle its jobs and free
+// its queue slot itself, because no worker ever will.
+func (f *flight) kill() (handled bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.finished {
+		return true
+	}
+	f.aborted = true
+	if f.running {
+		if f.stop != nil {
+			f.stop(errKilled)
+		}
+		return true
+	}
+	return false
+}
+
 // settle records the flight's outcome and finalizes every attached job.
 // It returns the jobs that actually transitioned (already-canceled jobs
-// keep their state).
+// keep their state). The first settle wins: a later one — a killed
+// flight racing its own worker's ctx.Done settle — must not overwrite
+// the recorded outcome that attach-settled submitters read.
 func (f *flight) settle(state State, res *Result, err error, errMsg string, now time.Time) int {
 	f.mu.Lock()
+	if f.finished {
+		f.mu.Unlock()
+		return 0
+	}
 	jobs := f.jobs
 	f.finished = true
 	f.res = res
@@ -160,14 +213,26 @@ func (c *Cache) acquire(spec Spec, shards int, admit func(*flight) error) (res *
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if elem, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(elem)
 		e := elem.Value.(*cacheEntry)
-		if e.res != nil {
+		switch {
+		case e.res != nil:
+			c.ll.MoveToFront(elem)
 			c.m.CacheHits.Inc()
 			return e.res, nil, false, nil
+		case e.fl.dead():
+			// Every subscriber canceled while the flight was still queued
+			// and its cancel path has not swept the key yet. Joining the
+			// corpse would hang the new job forever; evict it and lead a
+			// fresh flight instead. The stale flight's pending discard and
+			// forget are keyed to the flight pointer, so they cannot touch
+			// the replacement.
+			c.ll.Remove(elem)
+			delete(c.byKey, key)
+		default:
+			c.ll.MoveToFront(elem)
+			c.m.CacheJoined.Inc()
+			return nil, e.fl, false, nil
 		}
-		c.m.CacheJoined.Inc()
-		return nil, e.fl, false, nil
 	}
 	c.m.CacheMisses.Inc()
 	fl = &flight{key: key, spec: spec, shard: shardOf(key, shards)}
@@ -225,6 +290,20 @@ func (c *Cache) evictLocked() {
 		}
 		elem = prev
 	}
+}
+
+// liveFlights snapshots every in-flight entry. Server.Kill walks the
+// result to abort the whole replica's work at once.
+func (c *Cache) liveFlights() []*flight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*flight
+	for elem := c.ll.Front(); elem != nil; elem = elem.Next() {
+		if e := elem.Value.(*cacheEntry); e.fl != nil {
+			out = append(out, e.fl)
+		}
+	}
+	return out
 }
 
 // size reports the number of cached entries (finished and in-flight).

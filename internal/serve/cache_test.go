@@ -121,7 +121,7 @@ func TestFlightDetachSemantics(t *testing.T) {
 	if got := fl.detach(); got != detachAborted {
 		t.Fatalf("last detach = %v, want detachAborted", got)
 	}
-	if fl.begin(func() {}, now) {
+	if fl.begin(func(error) {}, now) {
 		t.Fatal("begin succeeded on an aborted flight")
 	}
 
@@ -129,7 +129,7 @@ func TestFlightDetachSemantics(t *testing.T) {
 	stopped := false
 	fl2 := &flight{key: "k2"}
 	fl2.attach(j1, now)
-	if !fl2.begin(func() { stopped = true }, now) {
+	if !fl2.begin(func(error) { stopped = true }, now) {
 		t.Fatal("begin failed on a live flight")
 	}
 	if got := fl2.detach(); got != detachStopped {

@@ -37,6 +37,11 @@ type Config struct {
 	// SnapshotSize bounds the checkpoint store (default 64 partial-result
 	// snapshots of interrupted executions; see snapshot.go).
 	SnapshotSize int
+	// JobIDPrefix is prepended to every job id this server mints. The
+	// mesh coordinator gives each replica a distinct prefix (e.g.
+	// "r1.0-") so a job id names the replica — and the generation — that
+	// owns it, and ids never collide across replicas or revivals.
+	JobIDPrefix string
 	// Obs receives the service metric families; GET /metrics exposes the
 	// whole registry. Nil disables both.
 	Obs *obs.Registry
@@ -54,8 +59,11 @@ type Config struct {
 	CrashHook func() (afterCells int, ok bool)
 }
 
-// Server is the simulation service: HTTP codec on top of store + cache +
-// pool. Create with New, mount Handler, stop with Drain.
+// Server is the simulation service: job store + result cache + worker
+// pool + checkpoint store, with an HTTP codec on top. Create with New,
+// mount Handler, stop with Drain. The exported core API (Submit, Job,
+// CancelJob, JobResult, Health, …) is the same machinery without the
+// HTTP framing; the mesh coordinator embeds replicas through it.
 type Server struct {
 	cfg      Config
 	m        *Metrics
@@ -65,6 +73,7 @@ type Server struct {
 	snaps    *snapStore
 	mux      *http.ServeMux
 	draining atomic.Bool
+	inflight atomic.Int64  // flights currently executing on a worker
 	ewmaBits atomic.Uint64 // EWMA of execution seconds, for Retry-After
 }
 
@@ -92,7 +101,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{cfg: cfg, m: NewMetrics(cfg.Obs)}
-	s.store = newStore(cfg.StoreSize, s.m)
+	s.store = newStore(cfg.StoreSize, cfg.JobIDPrefix, s.m)
 	s.cache = newCache(cfg.CacheSize, s.m)
 	s.snaps = newSnapStore(cfg.SnapshotSize, s.m)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execFlight, s.m)
@@ -107,11 +116,199 @@ func New(cfg Config) (*Server, error) {
 // Handler is the service's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain stops admission (submissions return 503) and waits until every
-// queued and running flight has settled, or until ctx expires.
+// Drain stops admission (submissions return ErrDraining / 503) and waits
+// until every queued and running flight has settled, or until ctx
+// expires.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	return s.pool.drain(ctx)
+}
+
+// Core API errors beyond the pool's ErrSaturated/ErrDraining.
+var (
+	// ErrNoSuchJob: the job id is unknown (never existed, or evicted).
+	ErrNoSuchJob = errors.New("serve: no such job")
+	// errKilled is the terminal error stamped on jobs stranded by Kill.
+	errKilled = errors.New("serve: replica killed")
+)
+
+// StateConflictError reports an operation that is invalid in the job's
+// current state (canceling a finished job, fetching an unfinished
+// result).
+type StateConflictError struct {
+	State State
+}
+
+func (e *StateConflictError) Error() string {
+	return fmt.Sprintf("serve: job is %s", e.State)
+}
+
+// Submit admits one spec and returns the resulting job's view: a cache
+// hit is born done, an identical in-flight spec is joined, and otherwise
+// a fresh flight is queued. Errors: ErrDraining, ErrSaturated (pair with
+// RetryAfterSeconds), or a spec validation error from the admission path.
+func (s *Server) Submit(spec Spec) (JobView, error) {
+	// The retry loop covers one narrow race: acquire can join a flight
+	// whose last subscriber cancels before attach. Such a corpse will
+	// never settle, so the stillborn job is discarded and the submission
+	// retried — the dead entry is evicted (here and in acquire), so the
+	// next pass leads a fresh flight. The bound is defensive; one retry
+	// suffices unless cancels keep winning the race.
+	for attempt := 0; ; attempt++ {
+		now := time.Now()
+		res, fl, created, err := s.cache.acquire(spec, s.pool.workers(), s.pool.submit)
+		if err != nil {
+			return JobView{}, err
+		}
+
+		if res != nil { // cache hit: the job is born done
+			j := s.store.newJob(spec, CacheHit, nil, now)
+			j.finish(StateDone, res, "", now)
+			s.m.Submitted.Inc()
+			s.m.JobsDone.Inc()
+			return j.View(), nil
+		}
+
+		cacheStatus := CacheJoined
+		if created {
+			cacheStatus = CacheMiss
+		}
+		j := s.store.newJob(spec, cacheStatus, fl, now)
+		switch fl.attach(j, now) {
+		case attachJoined:
+			s.m.Submitted.Inc()
+			return j.View(), nil
+		case attachSettled:
+			// The flight finished between acquire and attach: settle from
+			// its outcome directly.
+			fres, ferr := fl.outcome()
+			if ferr != nil {
+				j.finish(StateFailed, nil, ferr.Error(), now)
+				s.m.JobsFailed.Inc()
+			} else {
+				j.finish(StateDone, fres, "", now)
+				s.m.JobsDone.Inc()
+			}
+			s.m.Submitted.Inc()
+			return j.View(), nil
+		case attachDead:
+			s.store.remove(j.ID())
+			s.cache.forget(fl)
+			if attempt >= 8 {
+				return JobView{}, fmt.Errorf("serve: submission kept racing cancellation for %s", spec.Key())
+			}
+		}
+	}
+}
+
+// Job returns the job's current view.
+func (s *Server) Job(id string) (JobView, bool) {
+	j, ok := s.store.get(id)
+	if !ok {
+		return JobView{}, false
+	}
+	return j.View(), true
+}
+
+// CancelJob terminates one job. When it was the last live subscriber of
+// its flight, the flight itself is aborted (dequeued or its context
+// canceled) and the cache entry removed. Errors: ErrNoSuchJob, or a
+// StateConflictError when the job already ended (its view is still
+// returned).
+func (s *Server) CancelJob(id string) (JobView, error) {
+	j, ok := s.store.get(id)
+	if !ok {
+		return JobView{}, ErrNoSuchJob
+	}
+	if !j.finish(StateCanceled, nil, "canceled by client", time.Now()) {
+		return j.View(), &StateConflictError{State: j.State()}
+	}
+	s.m.JobsCanceled.Inc()
+	if j.flight != nil {
+		switch j.flight.detach() {
+		case detachAborted:
+			s.cache.forget(j.flight)
+			// The flight never ran; pull it out of its shard queue so the
+			// admission slot frees immediately instead of when a worker
+			// reaches and skips it.
+			s.pool.discard(j.flight)
+		case detachStopped:
+			s.cache.forget(j.flight)
+		}
+	}
+	return j.View(), nil
+}
+
+// JobResult returns the finished job's result. Errors: ErrNoSuchJob, or
+// a StateConflictError when the job is not done (its view is still
+// returned for context).
+func (s *Server) JobResult(id string) (*Result, JobView, error) {
+	j, ok := s.store.get(id)
+	if !ok {
+		return nil, JobView{}, ErrNoSuchJob
+	}
+	res, ok := j.Result()
+	if !ok {
+		return nil, j.View(), &StateConflictError{State: j.State()}
+	}
+	return res, j.View(), nil
+}
+
+// Queued reports the flights waiting in shard queues.
+func (s *Server) Queued() int { return s.pool.queued() }
+
+// Inflight reports the flights currently executing on workers. Queued +
+// Inflight is the load signal the mesh's least-loaded and two-choice
+// routers compare.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Draining reports whether admission is closed (Drain or Kill).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ExportSnapshots deep-copies every checkpoint snapshot with recorded
+// cells, keyed by spec cache key. The mesh coordinator calls it on a
+// dead replica to hand interrupted progress to a survivor.
+func (s *Server) ExportSnapshots() map[string]map[int][]float64 {
+	return s.snaps.export()
+}
+
+// ImportSnapshot merges handed-off cells into this server's checkpoint
+// store, so the next flight for the spec resumes past them. It reports
+// how many cells were new here.
+func (s *Server) ImportSnapshot(key string, cells map[int][]float64) int {
+	n := s.snaps.merge(key, cells)
+	if n > 0 {
+		s.m.SnapshotCellsRecorded.Add(uint64(n))
+	}
+	return n
+}
+
+// Kill simulates abrupt replica death for the mesh: admission closes,
+// every live flight is aborted — running ones through their execution
+// context, queued ones settled directly (no worker will ever reach an
+// aborted flight's settle path) — and the workers are reaped in the
+// background. Checkpoint snapshots survive so the coordinator can export
+// them; the Server itself stays readable (the mesh decides what "dead"
+// hides).
+func (s *Server) Kill() {
+	s.draining.Store(true)
+	now := time.Now()
+	for _, fl := range s.cache.liveFlights() {
+		if fl.kill() {
+			continue // running (settles via ctx.Done) or already finished
+		}
+		// Queued corpse: free its slot and fail its jobs ourselves.
+		s.cache.forget(fl)
+		s.pool.discard(fl)
+		s.snaps.settle(fl.key)
+		n := fl.settle(StateFailed, nil, errKilled, "replica killed", now)
+		s.m.JobsFailed.Add(uint64(n))
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.pool.drain(ctx)
+	}()
 }
 
 // routes mounts the API.
@@ -175,102 +372,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	now := time.Now()
-	res, fl, created, err := s.cache.acquire(spec, s.pool.workers(), s.pool.submit)
+	view, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case errors.Is(err, ErrSaturated):
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "queue full (%d slots); retry later", s.pool.queueCapacity())
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.m.Submitted.Inc()
-
-	if res != nil { // cache hit: the job is born done
-		j := s.store.newJob(spec, CacheHit, nil, now)
-		j.finish(StateDone, res, "", now)
-		s.m.JobsDone.Inc()
-		w.Header().Set("Location", "/v1/jobs/"+j.ID())
-		writeJSON(w, http.StatusOK, j.View())
-		return
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	code := http.StatusAccepted
+	if view.Cache == CacheHit {
+		code = http.StatusOK
 	}
-
-	cacheStatus := CacheJoined
-	if created {
-		cacheStatus = CacheMiss
-	}
-	j := s.store.newJob(spec, cacheStatus, fl, now)
-	if fl.attach(j, now) {
-		// The flight finished between acquire and attach: settle from its
-		// outcome directly.
-		fres, ferr := fl.outcome()
-		if ferr != nil {
-			j.finish(StateFailed, nil, ferr.Error(), now)
-			s.m.JobsFailed.Inc()
-		} else {
-			j.finish(StateDone, fres, "", now)
-			s.m.JobsDone.Inc()
-		}
-	}
-	w.Header().Set("Location", "/v1/jobs/"+j.ID())
-	writeJSON(w, http.StatusAccepted, j.View())
+	writeJSON(w, code, view)
 }
 
 // handleJob is the poll endpoint.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	view, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.View())
+	writeJSON(w, http.StatusOK, view)
 }
 
-// handleCancel terminates one job. When it was the last live subscriber of
-// its flight, the flight itself is aborted (dequeued or its context
-// canceled) and the cache entry removed.
+// handleCancel terminates one job.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
-	if !ok {
+	view, err := s.CancelJob(r.PathValue("id"))
+	var conflict *StateConflictError
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
-	}
-	if !j.finish(StateCanceled, nil, "canceled by client", time.Now()) {
-		writeError(w, http.StatusConflict, "job is already %s", j.State())
+	case errors.As(err, &conflict):
+		writeError(w, http.StatusConflict, "job is already %s", conflict.State)
 		return
 	}
-	s.m.JobsCanceled.Inc()
-	if j.flight != nil {
-		switch j.flight.detach() {
-		case detachAborted:
-			s.cache.forget(j.flight)
-			// The flight never ran; pull it out of its shard queue so the
-			// admission slot frees immediately instead of when a worker
-			// reaches and skips it.
-			s.pool.discard(j.flight)
-		case detachStopped:
-			s.cache.forget(j.flight)
-		}
-	}
-	writeJSON(w, http.StatusOK, j.View())
+	writeJSON(w, http.StatusOK, view)
 }
 
 // handleResult serves the finished job's CSV bytes — byte-identical to
 // `exasim -csv` output for the same spec.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
-	if !ok {
+	res, view, err := s.JobResult(r.PathValue("id"))
+	var conflict *StateConflictError
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
-	}
-	res, ok := j.Result()
-	if !ok {
-		writeError(w, http.StatusConflict, "job is %s, not done", j.State())
+	case errors.As(err, &conflict):
+		writeError(w, http.StatusConflict, "job is %s, not done", view.State)
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -280,14 +438,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleTable serves the finished job's rendered ASCII table.
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
-	if !ok {
+	res, view, err := s.JobResult(r.PathValue("id"))
+	var conflict *StateConflictError
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
-	}
-	res, ok := j.Result()
-	if !ok {
-		writeError(w, http.StatusConflict, "job is %s, not done", j.State())
+	case errors.As(err, &conflict):
+		writeError(w, http.StatusConflict, "job is %s, not done", view.State)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -322,8 +480,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.cfg.Obs.WriteProm(w)
 }
 
-// healthView is the GET /healthz body.
-type healthView struct {
+// HealthView is the GET /healthz body and the per-replica health report
+// the mesh coordinator aggregates.
+type HealthView struct {
 	Status        string `json:"status"`
 	Workers       int    `json:"workers"`
 	QueueCapacity int    `json:"queue_capacity"`
@@ -333,14 +492,14 @@ type healthView struct {
 	Snapshots     int    `json:"snapshots"`
 }
 
-// handleHealth reports liveness and the coarse pressure numbers a load
+// Health reports liveness and the coarse pressure numbers a load
 // balancer or smoke test wants.
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) Health() HealthView {
 	status := "ok"
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, healthView{
+	return HealthView{
 		Status:        status,
 		Workers:       s.pool.workers(),
 		QueueCapacity: s.pool.queueCapacity(),
@@ -348,7 +507,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.store.size(),
 		CacheEntries:  s.cache.size(),
 		Snapshots:     s.snaps.size(),
-	})
+	}
+}
+
+// handleHealth renders Health.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 // errCrash is the cancel cause of an injected worker crash (CrashHook).
@@ -377,9 +541,11 @@ func (s *Server) execFlight(fl *flight) {
 		ctx, cancelTimeout = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancelTimeout()
 	}
-	if !fl.begin(func() { cancelCause(context.Canceled) }, now) {
+	if !fl.begin(cancelCause, now) {
 		return // every subscriber canceled while queued; already forgotten
 	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	s.m.JobsInflight.Add(1)
 	defer s.m.JobsInflight.Add(-1)
 	s.m.Executions.Inc()
@@ -452,6 +618,9 @@ func (s *Server) execFlight(fl *flight) {
 			n := fl.settle(StateFailed, nil, cause,
 				fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout), time.Now())
 			s.m.JobsFailed.Add(uint64(n))
+		case errors.Is(cause, errKilled):
+			n := fl.settle(StateFailed, nil, cause, "replica killed", time.Now())
+			s.m.JobsFailed.Add(uint64(n))
 		default:
 			// Last subscriber canceled mid-run; its job is already
 			// terminal, so this usually transitions nothing.
@@ -478,12 +647,19 @@ func (s *Server) noteJobSeconds(secs float64) {
 	}
 }
 
-// retryAfterSeconds estimates when a rejected client should try again:
+// RetryAfterSeconds estimates when a rejected client should try again:
 // the queued work divided by the pool width, paced by the average
-// execution time, clamped to [1, 120] seconds.
-func (s *Server) retryAfterSeconds() int {
-	avg := math.Float64frombits(s.ewmaBits.Load())
-	if avg <= 0 {
+// execution time, clamped to [1, 120] seconds. Before the EWMA has any
+// samples (cold start — nothing has finished yet) the estimate is
+// explicitly floored at 1s: a 429 storm on a freshly booted server must
+// never tell every client "retry now".
+func (s *Server) RetryAfterSeconds() int {
+	bits := s.ewmaBits.Load()
+	if bits == 0 {
+		return 1 // cold start: no completed execution to pace by
+	}
+	avg := math.Float64frombits(bits)
+	if avg <= 0 || math.IsNaN(avg) {
 		avg = 1
 	}
 	est := int(math.Ceil(avg * float64(s.pool.queued()+1) / float64(s.pool.workers())))

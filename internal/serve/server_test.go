@@ -462,7 +462,7 @@ func TestDrainFinishesInflight(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var h healthView
+	var h HealthView
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}

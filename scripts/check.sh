@@ -16,8 +16,10 @@
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
 #      metamorphic properties) — exits non-zero on any violation
 #   5. the golden-exhibit digest comparison against results/golden/
-#   6. a short chaos soak: exaserve -chaos vs the retrying exasoak client
-#      (scripts/chaos_soak.sh; set SOAK_REQUESTS=0 to skip)
+#   6. two short soaks (set SOAK_REQUESTS=0 to skip both): exaserve
+#      -chaos vs the retrying exasoak client (scripts/chaos_soak.sh),
+#      then a 3-replica mesh with kill/revive chaos, asserting at least
+#      one real failover happened (scripts/mesh_soak.sh)
 #   7. opt-in: with BENCH_BASELINE=path/to/BENCH_results.json set, rerun
 #      the exhibit benchmarks and fail on any >10% time or allocation
 #      regression against that report (cmd/exabench -baseline)
@@ -44,8 +46,8 @@ UNFMT=$(gofmt -l .)
 
 echo "== race detector on the audit harness, cluster layer, metrics, registry, and service stack"
 go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
-	./internal/experiments/ ./internal/serve/... ./internal/chaos/ ./internal/serveclient/ \
-	./internal/selection/ ./internal/analytic/ ./internal/rng/
+	./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
+	./internal/serveclient/ ./internal/selection/ ./internal/analytic/ ./internal/rng/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
@@ -61,6 +63,8 @@ go run ./cmd/exacheck golden
 if [ "${SOAK_REQUESTS:-8}" != "0" ]; then
   echo "== chaos soak"
   SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/chaos_soak.sh
+  echo "== mesh soak"
+  SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/mesh_soak.sh
 fi
 
 if [ -n "${BENCH_BASELINE:-}" ]; then

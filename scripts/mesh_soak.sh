@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# mesh_soak.sh — end-to-end multi-replica resilience soak: a 3-replica
+# exaserve mesh with the kill/revive chaos loop armed, exasoak hammering
+# it with retrying clients.
+#
+# Boots exaserve -replicas 3 on an ephemeral port with
+# -mesh-kill-interval so replicas keep dying and reviving under load,
+# then runs exasoak, which precomputes every spec's expected digest
+# in-process and fails on a single wrong or unrecovered result. exasoak's
+# -require-failover flag asserts the mesh actually lost (and failed
+# over) at least one replica during the soak, so the run cannot pass
+# vacuously. Afterwards the script checks the mesh metrics surfaced the
+# failovers and that SIGTERM still drains the whole fleet cleanly.
+#
+# Tunables (environment):
+#   SOAK_CLIENTS   concurrent clients       (default 4)
+#   SOAK_REQUESTS  requests per client      (default 16)
+#   SOAK_MAX_P99   p99 latency budget       (default 0 = report only)
+#
+# Usage: scripts/mesh_soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_CLIENTS="${SOAK_CLIENTS:-4}"
+SOAK_REQUESTS="${SOAK_REQUESTS:-16}"
+SOAK_MAX_P99="${SOAK_MAX_P99:-0}"
+
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:${PORT}"
+LOG=$(mktemp)
+SERVE_BIN=$(mktemp -u)
+SOAK_BIN=$(mktemp -u)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$LOG" "$SERVE_BIN" "$SOAK_BIN"
+}
+trap cleanup EXIT
+
+echo "== building exaserve and exasoak"
+go build -o "$SERVE_BIN" ./cmd/exaserve
+go build -o "$SOAK_BIN" ./cmd/exasoak
+
+echo "== booting a 3-replica mesh with kill/revive chaos on ${ADDR}"
+"$SERVE_BIN" -addr "$ADDR" -workers 2 -replicas 3 \
+  -heartbeat-interval 25ms -heartbeat-timeout 200ms \
+  -mesh-kill-interval 500ms >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during boot:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "http://${ADDR}/healthz" >/dev/null || { echo "server never became healthy"; cat "$LOG"; exit 1; }
+
+# The kill loop fires on its own clock; make sure at least one replica
+# has actually died and failed over before the measured soak, so
+# -require-failover asserts something real rather than racing the timer.
+echo "== waiting for the first replica failover"
+FAILED_OVER=0
+for _ in $(seq 1 150); do
+  if curl -fsS "http://${ADDR}/v1/mesh" | grep -q '"failovers": *[1-9]'; then
+    FAILED_OVER=1; break
+  fi
+  sleep 0.1
+done
+[ "$FAILED_OVER" = 1 ] || { echo "no failover within 15s; server log:"; cat "$LOG"; exit 1; }
+
+echo "== soaking: ${SOAK_CLIENTS} clients x ${SOAK_REQUESTS} requests across kill/revive cycles"
+"$SOAK_BIN" -addr "http://${ADDR}" -clients "$SOAK_CLIENTS" -requests "$SOAK_REQUESTS" \
+  -max-p99 "$SOAK_MAX_P99" -require-failover \
+  || { echo "soak failed; server log:"; cat "$LOG"; exit 1; }
+
+echo "== verifying the mesh surfaced its failovers"
+METRICS=$(curl -fsS "http://${ADDR}/metrics")
+for series in exaresil_mesh_failovers_total exaresil_mesh_revivals_total \
+              exaresil_mesh_routed_total exaresil_mesh_replica_up; do
+  printf '%s' "$METRICS" | grep -q "$series" || { echo "/metrics missing ${series}"; exit 1; }
+done
+FAILOVERS=$(printf '%s' "$METRICS" | awk '/^exaresil_mesh_failovers_total/ {print $NF}')
+[ "${FAILOVERS:-0}" -gt 0 ] || { echo "mesh metrics report zero failovers"; exit 1; }
+MESH=$(curl -fsS "http://${ADDR}/v1/mesh")
+echo "   mesh view: ${MESH}"
+
+echo "== SIGTERM drain of the whole fleet"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then echo "mesh did not drain within 10s"; exit 1; fi
+if ! wait "$SERVER_PID"; then echo "server exited non-zero:"; cat "$LOG"; exit 1; fi
+SERVER_PID=""
+grep -q "drained" "$LOG" || { echo "no drain log line:"; cat "$LOG"; exit 1; }
+
+echo "mesh soak OK"
