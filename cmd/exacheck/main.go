@@ -47,6 +47,7 @@ import (
 
 	"exaresil/internal/check"
 	"exaresil/internal/experiments"
+	"exaresil/internal/load"
 	"exaresil/internal/report"
 	"exaresil/internal/units"
 )
@@ -142,6 +143,10 @@ func goldenExhibits(cfg experiments.Config) []struct {
 			t, _, err := experiments.BackfillSpec{Config: cfg, Patterns: 6}.Run()
 			return t, err
 		}},
+		// The serving layer's saturation sweep: a real exaserve behind a
+		// virtual clock, so the whole capacity curve is a pure function of
+		// the pinned seed (see internal/load).
+		{"loadsweep", load.GoldenSweepTable},
 	}
 }
 

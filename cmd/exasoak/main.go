@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"exaresil/internal/experiments"
+	"exaresil/internal/load"
 	"exaresil/internal/mesh"
 	"exaresil/internal/rng"
 	"exaresil/internal/serve"
@@ -67,6 +68,8 @@ func run(argv []string) error {
 	clients := fs.Int("clients", 4, "concurrent clients")
 	requests := fs.Int("requests", 32, "requests per client")
 	seed := fs.Uint64("seed", 1, "spec-mix and jitter seed")
+	mix := fs.String("mix", "uniform", "spec mix: uniform, or zipf (rank-skewed draws over the vocabulary)")
+	zipfS := fs.Float64("zipf-s", 1.1, "zipf mix exponent (ignored for -mix uniform)")
 	attempts := fs.Int("attempts", 10, "max submissions per request (retries + resubmits)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request deadline")
 	maxP99 := fs.Duration("max-p99", 0, "fail when p99 latency exceeds this (0 = report only)")
@@ -82,12 +85,29 @@ func run(argv []string) error {
 	}
 
 	vocab := vocabulary()
+	// pickSpec maps one uniform draw to a vocabulary index: flat for the
+	// uniform mix, rank-skewed through the shared Zipf law for -mix zipf
+	// (vocabulary order is the popularity ranking, so the cache-friendly
+	// repeated specs soak hottest — the same skew exaload generates).
+	var pickSpec func(u float64) int
+	switch *mix {
+	case "uniform":
+		pickSpec = func(u float64) int { return int(u * float64(len(vocab))) }
+	case "zipf":
+		pop, err := load.NewPopularity(len(vocab), *zipfS)
+		if err != nil {
+			return fmt.Errorf("-mix zipf: %w", err)
+		}
+		pickSpec = pop.Rank
+	default:
+		return fmt.Errorf("unknown -mix %q (want uniform or zipf)", *mix)
+	}
 	expected, err := expectedDigests(vocab)
 	if err != nil {
 		return fmt.Errorf("precompute truth: %w", err)
 	}
-	fmt.Printf("exasoak: %d specs precomputed; %d clients x %d requests against %s\n",
-		len(vocab), *clients, *requests, *addr)
+	fmt.Printf("exasoak: %d specs precomputed; %d clients x %d requests (%s mix) against %s\n",
+		len(vocab), *clients, *requests, *mix, *addr)
 
 	type sample struct {
 		latency time.Duration
@@ -106,9 +126,9 @@ func run(argv []string) error {
 				MaxAttempts: *attempts,
 				Seed:        *seed + uint64(c),
 			})
-			mix := rng.Stream(*seed, uint64(c)+1)
+			draws := rng.Stream(*seed, uint64(c)+1)
 			for i := 0; i < *requests; i++ {
-				pick := mix.Intn(len(vocab))
+				pick := pickSpec(draws.Float64())
 				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 				t0 := time.Now()
 				res, err := cl.Run(ctx, vocab[pick])

@@ -1,0 +1,197 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exaresil/internal/rng"
+	"exaresil/internal/serve"
+)
+
+// The arrival processes Generate supports.
+const (
+	// ProcessPoisson draws exponential inter-arrival gaps against the
+	// profile's rate envelope and thins them down to the instantaneous
+	// rate (Lewis & Shedler) — an open-loop nonhomogeneous Poisson stream.
+	ProcessPoisson = "poisson"
+	// ProcessUniform paces arrivals deterministically at the instantaneous
+	// rate: the gap after an arrival at time t is 1/r(t). No randomness
+	// touches the timeline; only spec popularity draws consume the seed.
+	ProcessUniform = "uniform"
+)
+
+// Arrival is one generated request: a spec to submit at an offset from
+// the stream's start.
+type Arrival struct {
+	// At is the arrival offset in seconds.
+	At float64
+	// Rank is the spec's popularity rank (0 = most popular).
+	Rank int
+	// Spec is the request to submit.
+	Spec serve.Spec
+}
+
+// GenSpec configures one generated stream.
+type GenSpec struct {
+	// Seed drives every random draw. Equal specs with equal seeds produce
+	// byte-identical arrival sequences regardless of GOMAXPROCS or
+	// scheduling: generation is a single deterministic walk.
+	Seed uint64
+	// Profile is the rate function r(t).
+	Profile Profile
+	// Process selects the arrival process (default ProcessPoisson).
+	Process string
+	// Vocab is the ranked spec vocabulary; index = popularity rank.
+	Vocab []serve.Spec
+	// ZipfS is the popularity exponent: rank r is drawn with weight
+	// 1/(r+1)^s. Zero means uniform popularity.
+	ZipfS float64
+	// MaxArrivals bounds the stream length (default 1<<20); exceeding it
+	// is an error, catching runaway rate*duration products before they
+	// eat the heap.
+	MaxArrivals int
+}
+
+// validate normalizes and checks the spec, returning the process name.
+func (gs GenSpec) validate() (string, error) {
+	if err := gs.Profile.Validate(); err != nil {
+		return "", err
+	}
+	if len(gs.Vocab) == 0 {
+		return "", fmt.Errorf("generate: vocabulary is empty")
+	}
+	if gs.ZipfS < 0 {
+		return "", fmt.Errorf("generate: zipf exponent must be non-negative, got %v", gs.ZipfS)
+	}
+	proc := gs.Process
+	if proc == "" {
+		proc = ProcessPoisson
+	}
+	if proc != ProcessPoisson && proc != ProcessUniform {
+		return "", fmt.Errorf("generate: unknown process %q (want %s or %s)", proc, ProcessPoisson, ProcessUniform)
+	}
+	return proc, nil
+}
+
+// Generate produces the arrival stream for gs. The timeline source and the
+// popularity source are independent substreams of the seed, so switching
+// the arrival process never reshuffles which specs are popular.
+func Generate(gs GenSpec) ([]Arrival, error) {
+	proc, err := gs.validate()
+	if err != nil {
+		return nil, err
+	}
+	maxN := gs.MaxArrivals
+	if maxN <= 0 {
+		maxN = 1 << 20
+	}
+	pop, err := NewPopularity(len(gs.Vocab), gs.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	// Substream 0 owns the timeline, substream 1 the popularity draws.
+	timeRnd := rng.New(rng.CellSeed(gs.Seed, 0))
+	popRnd := rng.New(rng.CellSeed(gs.Seed, 1))
+
+	dur := gs.Profile.Duration()
+	var out []Arrival
+	emit := func(t float64) error {
+		if len(out) >= maxN {
+			return fmt.Errorf("generate: stream exceeds %d arrivals (rate*duration too large?)", maxN)
+		}
+		rank := pop.Rank(popRnd.Float64())
+		out = append(out, Arrival{At: t, Rank: rank, Spec: gs.Vocab[rank]})
+		return nil
+	}
+
+	switch proc {
+	case ProcessPoisson:
+		rmax := gs.Profile.MaxRate()
+		if rmax <= 0 {
+			return nil, fmt.Errorf("generate: profile never exceeds rate 0")
+		}
+		for t := timeRnd.Exp(rmax); t < dur; t += timeRnd.Exp(rmax) {
+			// Thinning: keep the candidate with probability r(t)/rmax.
+			if timeRnd.Float64()*rmax < gs.Profile.Rate(t) {
+				if err := emit(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case ProcessUniform:
+		// Deterministic pacing; a zero-rate stretch is crossed in fixed
+		// idleStep hops so the walk always terminates.
+		const idleStep = 0.25
+		for t := 0.0; t < dur; {
+			r := gs.Profile.Rate(t)
+			if r <= 0 {
+				t += idleStep
+				continue
+			}
+			t += 1 / r
+			if t >= dur {
+				break
+			}
+			if err := emit(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Popularity is a Zipf(s) law over K ranks: rank r carries weight
+// 1/(r+1)^s. Rank 0 is always the most popular; the ranking is a property
+// of the law, not of any seed.
+type Popularity struct {
+	cdf []float64
+}
+
+// NewPopularity builds the law for k ranks with exponent s (0 = uniform).
+func NewPopularity(k int, s float64) (*Popularity, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("popularity: need at least one rank, got %d", k)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("popularity: exponent must be a non-negative finite value, got %v", s)
+	}
+	cdf := make([]float64, k)
+	var sum float64
+	for r := 0; r < k; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return &Popularity{cdf: cdf}, nil
+}
+
+// Ranks reports the number of ranks.
+func (p *Popularity) Ranks() int { return len(p.cdf) }
+
+// Weight reports rank r's probability mass.
+func (p *Popularity) Weight(r int) float64 {
+	if r == 0 {
+		return p.cdf[0]
+	}
+	return p.cdf[r] - p.cdf[r-1]
+}
+
+// Rank maps one uniform draw u in [0, 1) to a rank by inverse CDF.
+func (p *Popularity) Rank(u float64) int {
+	return sort.SearchFloat64s(p.cdf, u)
+}
+
+// DefaultVocab builds a k-entry ranked vocabulary of cheap, mutually
+// distinct specs over the experiments registry: fig1 trial runs whose
+// per-rank seeds give each rank its own cache key. Load tools use it when
+// the caller does not hand-pick specs.
+func DefaultVocab(k int) []serve.Spec {
+	out := make([]serve.Spec, k)
+	for i := range out {
+		out[i] = serve.Spec{Exhibit: "fig1", Trials: 2, Seed: uint64(i + 1)}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testGenSpec(seed uint64, rate, dur float64) GenSpec {
+	return GenSpec{
+		Seed:    seed,
+		Profile: Profile{Segments: []Segment{{Kind: KindConstant, Rate: rate, Dur: dur}}},
+		Process: ProcessPoisson,
+		Vocab:   DefaultVocab(32),
+		ZipfS:   1.1,
+	}
+}
+
+// streamFingerprint renders a stream to a canonical string so equality
+// failures show where two streams diverge.
+func streamFingerprint(arrivals []Arrival) string {
+	s := fmt.Sprintf("n=%d", len(arrivals))
+	for _, a := range arrivals {
+		s += fmt.Sprintf(";%x/%d/%s", math.Float64bits(a.At), a.Rank, a.Spec.Key())
+	}
+	return s
+}
+
+// TestGenerateDeterministic is the seed-determinism property: equal specs
+// with equal seeds produce byte-identical streams even when many
+// generators run concurrently. Run under -race with GOMAXPROCS > 1 this
+// also proves generation shares no hidden mutable state.
+func TestGenerateDeterministic(t *testing.T) {
+	gs := testGenSpec(42, 6, 30)
+	want, err := Generate(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty stream; the test needs arrivals to compare")
+	}
+	wantFP := streamFingerprint(want)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	got := make([]string, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arr, err := Generate(gs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = streamFingerprint(arr)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent generator %d: %v", i, errs[i])
+		}
+		if got[i] != wantFP {
+			t.Errorf("concurrent generator %d produced a different stream", i)
+		}
+	}
+
+	// A different seed must actually change the stream.
+	other, err := Generate(testGenSpec(43, 6, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamFingerprint(other) == wantFP {
+		t.Error("seeds 42 and 43 produced identical streams")
+	}
+}
+
+// TestGenerateRateScaling: doubling the rate function roughly doubles the
+// arrival count — the open-loop intensity property. Averaged over seeds to
+// keep the tolerance honest.
+func TestGenerateRateScaling(t *testing.T) {
+	const (
+		seeds = 20
+		dur   = 200.0
+		rate  = 5.0
+	)
+	var n1, n2 float64
+	for seed := uint64(1); seed <= seeds; seed++ {
+		a1, err := Generate(testGenSpec(seed, rate, dur))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := Generate(testGenSpec(seed+1000, 2*rate, dur))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1 += float64(len(a1))
+		n2 += float64(len(a2))
+	}
+	n1 /= seeds
+	n2 /= seeds
+	// Mean of Poisson(rate*dur): 1000 and 2000. With 20 seeds the sample
+	// means have stddev ~7 and ~10; a 10% band is >10 sigma.
+	if math.Abs(n1-rate*dur) > 0.1*rate*dur {
+		t.Errorf("mean arrivals at rate %v = %v, want within 10%% of %v", rate, n1, rate*dur)
+	}
+	ratio := n2 / n1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("doubling the rate scaled arrivals by %.3f, want ~2", ratio)
+	}
+}
+
+// TestGenerateOffsetsSorted: arrivals come out in time order inside the
+// profile's span, for both processes.
+func TestGenerateOffsetsSorted(t *testing.T) {
+	for _, proc := range []string{ProcessPoisson, ProcessUniform} {
+		gs := testGenSpec(7, 8, 60)
+		gs.Process = proc
+		arrivals, err := Generate(gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arrivals) == 0 {
+			t.Fatalf("%s: empty stream", proc)
+		}
+		prev := -1.0
+		for i, a := range arrivals {
+			if a.At < prev {
+				t.Fatalf("%s: arrival %d at %v before previous %v", proc, i, a.At, prev)
+			}
+			if a.At < 0 || a.At >= gs.Profile.Duration() {
+				t.Fatalf("%s: arrival %d offset %v outside [0, %v)", proc, i, a.At, gs.Profile.Duration())
+			}
+			prev = a.At
+		}
+	}
+}
+
+// TestGenerateUniformPacing: the deterministic process at constant rate r
+// spaces arrivals exactly 1/r apart.
+func TestGenerateUniformPacing(t *testing.T) {
+	gs := testGenSpec(1, 4, 10)
+	gs.Process = ProcessUniform
+	arrivals, err := Generate(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) < 2 {
+		t.Fatalf("want several arrivals, got %d", len(arrivals))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i].At - arrivals[i-1].At
+		if math.Abs(gap-0.25) > 1e-9 {
+			t.Fatalf("uniform gap %d = %v, want 0.25", i, gap)
+		}
+	}
+}
+
+// TestGenerateProcessIndependence: switching the arrival process must not
+// reshuffle which specs are drawn — the popularity substream is its own.
+func TestGenerateProcessIndependence(t *testing.T) {
+	poisson := testGenSpec(11, 5, 40)
+	uniform := poisson
+	uniform.Process = ProcessUniform
+	ap, err := Generate(poisson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := Generate(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ap)
+	if len(au) < n {
+		n = len(au)
+	}
+	if n == 0 {
+		t.Fatal("no arrivals to compare")
+	}
+	for i := 0; i < n; i++ {
+		if ap[i].Rank != au[i].Rank {
+			t.Fatalf("draw %d: poisson rank %d != uniform rank %d — the popularity substream leaked into the timeline", i, ap[i].Rank, au[i].Rank)
+		}
+	}
+}
+
+// TestGenerateMaxArrivals: the runaway guard trips instead of eating the
+// heap.
+func TestGenerateMaxArrivals(t *testing.T) {
+	gs := testGenSpec(1, 100, 100)
+	gs.MaxArrivals = 50
+	if _, err := Generate(gs); err == nil {
+		t.Fatal("want an error when the stream exceeds MaxArrivals")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenSpec{
+		{Seed: 1, Profile: Profile{}, Vocab: DefaultVocab(4)},                                                           // no segments
+		{Seed: 1, Profile: testGenSpec(1, 5, 10).Profile},                                                               // no vocab
+		{Seed: 1, Profile: testGenSpec(1, 5, 10).Profile, Vocab: DefaultVocab(4), ZipfS: -1},                            // negative exponent
+		{Seed: 1, Profile: testGenSpec(1, 5, 10).Profile, Vocab: DefaultVocab(4), Process: "brownian"},                  // unknown process
+		{Seed: 1, Profile: Profile{Segments: []Segment{{Kind: KindConstant, Rate: 0, Dur: 5}}}, Vocab: DefaultVocab(4)}, // zero envelope
+	}
+	for i, gs := range bad {
+		if _, err := Generate(gs); err == nil {
+			t.Errorf("case %d: want an error, got none", i)
+		}
+	}
+}
+
+// TestPopularityZipf checks the law itself: rank 0 is always heaviest,
+// weights are monotone, and empirical frequencies match the s-parameter.
+func TestPopularityZipf(t *testing.T) {
+	const k, s = 16, 1.1
+	pop, err := NewPopularity(k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Ranks() != k {
+		t.Fatalf("Ranks() = %d, want %d", pop.Ranks(), k)
+	}
+	var total float64
+	for r := 0; r < k; r++ {
+		total += pop.Weight(r)
+		if r > 0 && pop.Weight(r) > pop.Weight(r-1)+1e-12 {
+			t.Errorf("weight(%d)=%v exceeds weight(%d)=%v — ranks out of order", r, pop.Weight(r), r-1, pop.Weight(r-1))
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", total)
+	}
+	// The analytic weight of rank r is (r+1)^-s normalized.
+	var norm float64
+	for r := 0; r < k; r++ {
+		norm += math.Pow(float64(r+1), -s)
+	}
+	for r := 0; r < k; r++ {
+		want := math.Pow(float64(r+1), -s) / norm
+		if math.Abs(pop.Weight(r)-want) > 1e-9 {
+			t.Errorf("weight(%d) = %v, want %v", r, pop.Weight(r), want)
+		}
+	}
+	// Empirical check through the generator: long stream, compare rank
+	// frequencies against the analytic weights.
+	gs := testGenSpec(99, 50, 200)
+	gs.Vocab = DefaultVocab(k)
+	gs.ZipfS = s
+	arrivals, err := Generate(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, k)
+	for _, a := range arrivals {
+		counts[a.Rank]++
+	}
+	n := float64(len(arrivals))
+	for r := 0; r < 4; r++ { // the head carries enough mass to test tightly
+		got := counts[r] / n
+		want := pop.Weight(r)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("empirical weight(%d) = %.4f, want %.4f ± 0.03 over %d draws", r, got, want, len(arrivals))
+		}
+	}
+	// s=0 degenerates to uniform.
+	uni, err := NewPopularity(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if math.Abs(uni.Weight(r)-0.125) > 1e-9 {
+			t.Errorf("uniform weight(%d) = %v, want 0.125", r, uni.Weight(r))
+		}
+	}
+}
+
+// TestPopularityRankStability pins the inverse-CDF edges: rank boundaries
+// are a pure function of (k, s), never of a seed.
+func TestPopularityRankStability(t *testing.T) {
+	p1, err := NewPopularity(10, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPopularity(10, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.cdf, p2.cdf) {
+		t.Fatal("two identical laws built different CDFs")
+	}
+	if got := p1.Rank(0); got != 0 {
+		t.Errorf("Rank(0) = %d, want 0", got)
+	}
+	if got := p1.Rank(0.999999); got != 9 {
+		t.Errorf("Rank(≈1) = %d, want 9", got)
+	}
+	for u := 0.0; u < 1; u += 0.001 {
+		r := p1.Rank(u)
+		if r < 0 || r >= 10 {
+			t.Fatalf("Rank(%v) = %d out of range", u, r)
+		}
+	}
+}
+
+func TestDefaultVocabDistinct(t *testing.T) {
+	v := DefaultVocab(16)
+	seen := map[string]bool{}
+	for i, s := range v {
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("vocab entry %d reuses cache key %s", i, k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,274 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The segment kinds a Profile composes.
+const (
+	// KindConstant holds one rate for the segment's duration.
+	KindConstant = "constant"
+	// KindRamp moves linearly from one rate to another.
+	KindRamp = "ramp"
+	// KindDiurnal follows a raised cosine between a base and a peak rate,
+	// starting at the base and peaking mid-period — a day/night cycle.
+	KindDiurnal = "diurnal"
+	// KindBurst alternates between a base rate and a burst rate: each
+	// period opens with a burst lasting duty*period seconds.
+	KindBurst = "burst"
+)
+
+// Segment is one piece of a piecewise rate function. Times are seconds
+// from the segment's own start; rates are requests per second.
+type Segment struct {
+	// Kind selects the shape (KindConstant, KindRamp, KindDiurnal,
+	// KindBurst).
+	Kind string
+	// Dur is the segment's length in seconds.
+	Dur float64
+	// Rate is the constant segment's level.
+	Rate float64
+	// From and To bound the ramp segment.
+	From, To float64
+	// Base and Peak bound the diurnal and burst segments.
+	Base, Peak float64
+	// Period is the diurnal cycle or burst cycle length in seconds.
+	Period float64
+	// Duty is the burst segment's high fraction of each period, in (0, 1).
+	Duty float64
+}
+
+// validate checks one segment's parameters.
+func (s Segment) validate() error {
+	if s.Dur <= 0 {
+		return fmt.Errorf("segment %s: dur must be positive, got %v", s.Kind, s.Dur)
+	}
+	nonneg := func(name string, v float64) error {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("segment %s: %s must be a non-negative finite rate, got %v", s.Kind, name, v)
+		}
+		return nil
+	}
+	switch s.Kind {
+	case KindConstant:
+		return nonneg("rate", s.Rate)
+	case KindRamp:
+		if err := nonneg("from", s.From); err != nil {
+			return err
+		}
+		return nonneg("to", s.To)
+	case KindDiurnal, KindBurst:
+		if err := nonneg("base", s.Base); err != nil {
+			return err
+		}
+		if err := nonneg("peak", s.Peak); err != nil {
+			return err
+		}
+		if s.Peak < s.Base {
+			return fmt.Errorf("segment %s: peak %v below base %v", s.Kind, s.Peak, s.Base)
+		}
+		if s.Period <= 0 {
+			return fmt.Errorf("segment %s: period must be positive, got %v", s.Kind, s.Period)
+		}
+		if s.Kind == KindBurst && (s.Duty <= 0 || s.Duty >= 1) {
+			return fmt.Errorf("segment burst: duty must be in (0, 1), got %v", s.Duty)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown segment kind %q (want %s, %s, %s, or %s)",
+			s.Kind, KindConstant, KindRamp, KindDiurnal, KindBurst)
+	}
+}
+
+// rate evaluates the segment at t seconds into the segment, t in [0, Dur).
+func (s Segment) rate(t float64) float64 {
+	switch s.Kind {
+	case KindConstant:
+		return s.Rate
+	case KindRamp:
+		return s.From + (s.To-s.From)*(t/s.Dur)
+	case KindDiurnal:
+		mid := (s.Base + s.Peak) / 2
+		amp := (s.Peak - s.Base) / 2
+		return mid - amp*math.Cos(2*math.Pi*t/s.Period)
+	case KindBurst:
+		frac := t/s.Period - math.Floor(t/s.Period)
+		if frac < s.Duty {
+			return s.Peak
+		}
+		return s.Base
+	default:
+		return 0
+	}
+}
+
+// max reports the segment's maximum rate, used as the thinning envelope.
+func (s Segment) max() float64 {
+	switch s.Kind {
+	case KindConstant:
+		return s.Rate
+	case KindRamp:
+		return math.Max(s.From, s.To)
+	case KindDiurnal, KindBurst:
+		return s.Peak
+	default:
+		return 0
+	}
+}
+
+// Profile is a piecewise rate function: the segments play back to back,
+// and the profile ends when the last one does.
+type Profile struct {
+	Segments []Segment
+}
+
+// Validate checks every segment.
+func (p Profile) Validate() error {
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("profile has no segments")
+	}
+	for i, s := range p.Segments {
+		if err := s.validate(); err != nil {
+			return fmt.Errorf("profile segment %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Duration is the profile's total length in seconds.
+func (p Profile) Duration() float64 {
+	var d float64
+	for _, s := range p.Segments {
+		d += s.Dur
+	}
+	return d
+}
+
+// Rate evaluates the composed rate function at t seconds from the
+// profile's start. Outside [0, Duration) the rate is zero.
+func (p Profile) Rate(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	for _, s := range p.Segments {
+		if t < s.Dur {
+			return s.rate(t)
+		}
+		t -= s.Dur
+	}
+	return 0
+}
+
+// MaxRate is the profile's rate ceiling — the homogeneous envelope the
+// Poisson thinning sampler rejects against.
+func (p Profile) MaxRate() float64 {
+	var m float64
+	for _, s := range p.Segments {
+		m = math.Max(m, s.max())
+	}
+	return m
+}
+
+// Scale returns a copy of the profile with every rate multiplied by f —
+// the saturation analyzer's lever for sweeping one traffic shape across
+// an intensity grid.
+func (p Profile) Scale(f float64) Profile {
+	out := Profile{Segments: append([]Segment(nil), p.Segments...)}
+	for i := range out.Segments {
+		s := &out.Segments[i]
+		s.Rate *= f
+		s.From *= f
+		s.To *= f
+		s.Base *= f
+		s.Peak *= f
+	}
+	return out
+}
+
+// String renders the profile in the DSL ParseProfile accepts.
+func (p Profile) String() string {
+	parts := make([]string, len(p.Segments))
+	for i, s := range p.Segments {
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		switch s.Kind {
+		case KindConstant:
+			parts[i] = fmt.Sprintf("constant:rate=%s,dur=%s", f(s.Rate), f(s.Dur))
+		case KindRamp:
+			parts[i] = fmt.Sprintf("ramp:from=%s,to=%s,dur=%s", f(s.From), f(s.To), f(s.Dur))
+		case KindDiurnal:
+			parts[i] = fmt.Sprintf("diurnal:base=%s,peak=%s,period=%s,dur=%s",
+				f(s.Base), f(s.Peak), f(s.Period), f(s.Dur))
+		case KindBurst:
+			parts[i] = fmt.Sprintf("burst:base=%s,peak=%s,period=%s,duty=%s,dur=%s",
+				f(s.Base), f(s.Peak), f(s.Period), f(s.Duty), f(s.Dur))
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseProfile reads the exaload profile DSL: semicolon-separated
+// segments, each "kind:key=value,key=value,...". For example:
+//
+//	constant:rate=5,dur=60
+//	ramp:from=1,to=20,dur=120
+//	diurnal:base=2,peak=12,period=60,dur=180
+//	burst:base=2,peak=30,period=10,duty=0.2,dur=60
+//
+// Unknown kinds and keys are rejected — a misspelled parameter must not
+// silently shape different traffic.
+func ParseProfile(spec string) (Profile, error) {
+	var p Profile
+	for i, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Profile{}, fmt.Errorf("profile segment %d is empty", i+1)
+		}
+		kind, args, ok := strings.Cut(part, ":")
+		if !ok {
+			return Profile{}, fmt.Errorf("profile segment %d %q: want kind:key=value,...", i+1, part)
+		}
+		seg := Segment{Kind: strings.TrimSpace(kind)}
+		for _, kv := range strings.Split(args, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Profile{}, fmt.Errorf("profile segment %d: %q is not key=value", i+1, kv)
+			}
+			key = strings.TrimSpace(key)
+			switch key {
+			case "dur", "rate", "from", "to", "base", "peak", "period", "duty":
+			default:
+				return Profile{}, fmt.Errorf("profile segment %d: unknown key %q", i+1, key)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("profile segment %d: %s=%q is not a number", i+1, key, val)
+			}
+			switch key {
+			case "dur":
+				seg.Dur = v
+			case "rate":
+				seg.Rate = v
+			case "from":
+				seg.From = v
+			case "to":
+				seg.To = v
+			case "base":
+				seg.Base = v
+			case "peak":
+				seg.Peak = v
+			case "period":
+				seg.Period = v
+			case "duty":
+				seg.Duty = v
+			}
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

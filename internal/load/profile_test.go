@@ -1,0 +1,130 @@
+package load
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	specs := []string{
+		"constant:rate=5,dur=60",
+		"ramp:from=1,to=20,dur=120",
+		"diurnal:base=2,peak=12,period=60,dur=180",
+		"burst:base=2,peak=30,period=10,duty=0.2,dur=60",
+		"constant:rate=5,dur=30;ramp:from=5,to=0,dur=30",
+	}
+	for _, spec := range specs {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("ParseProfile(%q).String() = %q, want round-trip", spec, got)
+		}
+		p2, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Errorf("re-parse changed profile: %q vs %q", p2.String(), p.String())
+		}
+	}
+}
+
+func TestParseProfileRejects(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"", "empty"},
+		{"constant", "kind:key=value"},
+		{"warp:rate=1,dur=10", "unknown segment kind"},
+		{"constant:rate=1,dur=10,color=red", "unknown key"},
+		{"constant:rate=x,dur=10", "not a number"},
+		{"constant:rate=1", "dur must be positive"},
+		{"constant:rate=-1,dur=10", "non-negative"},
+		{"burst:base=2,peak=1,period=5,duty=0.5,dur=10", "peak 1 below base 2"},
+		{"burst:base=1,peak=2,period=5,duty=1.5,dur=10", "duty must be in (0, 1)"},
+		{"diurnal:base=1,peak=2,dur=10", "period must be positive"},
+		{"constant:rate=1,dur=10;;constant:rate=1,dur=10", "segment 2 is empty"},
+	}
+	for _, c := range cases {
+		_, err := ParseProfile(c.spec)
+		if err == nil {
+			t.Errorf("ParseProfile(%q): want error containing %q, got nil", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseProfile(%q): error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestProfileRateComposition(t *testing.T) {
+	p, err := ParseProfile("constant:rate=4,dur=10;ramp:from=0,to=10,dur=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-1, 0},   // before the profile
+		{0, 4},    // constant segment
+		{9.99, 4}, // still constant
+		{10, 0},   // ramp start (from=0)
+		{15, 5},   // ramp midpoint
+		{25, 0},   // past the end
+	}
+	for _, c := range cases {
+		if got := p.Rate(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := p.Duration(); got != 20 {
+		t.Errorf("Duration() = %v, want 20", got)
+	}
+	if got := p.MaxRate(); got != 10 {
+		t.Errorf("MaxRate() = %v, want 10", got)
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	diurnal := Profile{Segments: []Segment{{Kind: KindDiurnal, Base: 2, Peak: 10, Period: 60, Dur: 60}}}
+	if got := diurnal.Rate(0); math.Abs(got-2) > 1e-9 {
+		t.Errorf("diurnal starts at %v, want base 2", got)
+	}
+	if got := diurnal.Rate(30); math.Abs(got-10) > 1e-9 {
+		t.Errorf("diurnal mid-period is %v, want peak 10", got)
+	}
+
+	burst := Profile{Segments: []Segment{{Kind: KindBurst, Base: 1, Peak: 9, Period: 10, Duty: 0.3, Dur: 40}}}
+	if got := burst.Rate(1); got != 9 {
+		t.Errorf("burst at t=1 (inside duty) = %v, want 9", got)
+	}
+	if got := burst.Rate(5); got != 1 {
+		t.Errorf("burst at t=5 (after duty) = %v, want 1", got)
+	}
+	if got := burst.Rate(11); got != 9 {
+		t.Errorf("burst at t=11 (second period's duty) = %v, want 9", got)
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	p, err := ParseProfile("burst:base=2,peak=30,period=10,duty=0.2,dur=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := p.Scale(2)
+	if got := doubled.Rate(1); got != 60 {
+		t.Errorf("scaled burst peak = %v, want 60", got)
+	}
+	if got := doubled.Rate(5); got != 4 {
+		t.Errorf("scaled burst base = %v, want 4", got)
+	}
+	// Scaling must not mutate the original.
+	if got := p.Rate(1); got != 30 {
+		t.Errorf("Scale mutated the receiver: Rate(1) = %v, want 30", got)
+	}
+	if got := doubled.Segments[0].Duty; got != 0.2 {
+		t.Errorf("Scale touched duty: %v, want 0.2", got)
+	}
+}

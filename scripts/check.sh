@@ -6,20 +6,24 @@
 #      package carries a package comment and gofmt has nothing to say
 #   2. the race detector over the audit harness, the cluster layer, the
 #      obs metrics package, the shared experiments registry, the
-#      service stack — serve, chaos injector, retrying client — and the
-#      hot-path packages of the raw-speed passes: selection, analytic,
-#      rng (pins the seed-determinism, metrics-attachment-is-inert,
-#      single-flight/backpressure, checkpoint/resume, substream, and
+#      service stack — serve, chaos injector, retrying client, workload
+#      generator — and the hot-path packages of the raw-speed passes:
+#      selection, analytic, rng (pins the seed-determinism,
+#      metrics-attachment-is-inert, single-flight/backpressure,
+#      checkpoint/resume, substream, and
 #      disabled-hooks-allocation-free tests under -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
 #      schedule search, and the workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
 #      metamorphic properties) — exits non-zero on any violation
 #   5. the golden-exhibit digest comparison against results/golden/
-#   6. two short soaks (set SOAK_REQUESTS=0 to skip both): exaserve
-#      -chaos vs the retrying exasoak client (scripts/chaos_soak.sh),
-#      then a 3-replica mesh with kill/revive chaos, asserting at least
-#      one real failover happened (scripts/mesh_soak.sh)
+#   6. three live end-to-end passes (set SOAK_REQUESTS=0 to skip all):
+#      exaserve -chaos vs the retrying exasoak client
+#      (scripts/chaos_soak.sh), a 3-replica mesh with kill/revive chaos,
+#      asserting at least one real failover happened
+#      (scripts/mesh_soak.sh), and the exaload workload smoke — trace
+#      gen/replay, open-loop run, and a small live saturation sweep
+#      (scripts/load_smoke.sh)
 #   7. opt-in: with BENCH_BASELINE=path/to/BENCH_results.json set, rerun
 #      the exhibit benchmarks and fail on any >10% time or allocation
 #      regression against that report (cmd/exabench -baseline)
@@ -47,7 +51,7 @@ UNFMT=$(gofmt -l .)
 echo "== race detector on the audit harness, cluster layer, metrics, registry, and service stack"
 go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
 	./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
-	./internal/serveclient/ ./internal/selection/ ./internal/analytic/ ./internal/rng/
+	./internal/serveclient/ ./internal/load/ ./internal/selection/ ./internal/analytic/ ./internal/rng/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
@@ -65,6 +69,8 @@ if [ "${SOAK_REQUESTS:-8}" != "0" ]; then
   SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/chaos_soak.sh
   echo "== mesh soak"
   SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/mesh_soak.sh
+  echo "== load smoke"
+  scripts/load_smoke.sh
 fi
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
