@@ -282,6 +282,8 @@ func exhibitBenches() []bench {
 		{"batch_analytic", benchBatchAnalytic},
 		{"cluster_run", benchClusterRun},
 		{"executor_run", benchExecutorRun},
+		{"restore_run", benchReStoreRun},
+		{"teampi_run", benchTeamReplicationRun},
 		{"multilevel_optimizer", benchMultilevelOptimizer},
 	}
 }
@@ -374,7 +376,7 @@ func benchFig4Resume(b *testing.B) {
 
 // benchBatchAnalytic measures the steady-state cost of the batch analytic
 // evaluator over the ext-whatif exhibit's grid shape (4 MTBFs x 7 sizes x
-// 5 techniques). The evaluator is built once outside the timed loop, as the
+// 7 techniques). The evaluator is built once outside the timed loop, as the
 // what-if service path reuses it, so the loop body is the pure column-pass
 // Eval — expected to report zero allocs/op (the allocation-freedom test in
 // internal/analytic pins that contract; this entry tracks its speed).
@@ -432,6 +434,37 @@ func benchExecutorRun(b *testing.B) {
 	}
 	app := exaresil.App{Class: exaresil.ClassC64, TimeSteps: 1440, Nodes: 30000}
 	x, err := sim.Executor(exaresil.ParallelRecovery, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Run(0, 1e9, src)
+	}
+}
+
+// benchReStoreRun and benchTeamReplicationRun mirror executor_run for the
+// post-2017 techniques, at the same class/size/horizon so the three entries
+// are directly comparable: the deltas are the per-run cost of the replica
+// bookkeeping (ReStore) and of the doubled footprint with repair-window
+// tracking (TeaMPI).
+func benchReStoreRun(b *testing.B) {
+	benchTechniqueRun(b, exaresil.InMemoryReplicatedCheckpoint)
+}
+
+func benchTeamReplicationRun(b *testing.B) {
+	benchTechniqueRun(b, exaresil.LightweightReplication)
+}
+
+func benchTechniqueRun(b *testing.B, tech exaresil.Technique) {
+	sim, err := exaresil.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := exaresil.App{Class: exaresil.ClassC64, TimeSteps: 1440, Nodes: 30000}
+	x, err := sim.Executor(tech, app)
 	if err != nil {
 		b.Fatal(err)
 	}

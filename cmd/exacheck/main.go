@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"exaresil/internal/check"
+	"exaresil/internal/core"
 	"exaresil/internal/experiments"
 	"exaresil/internal/load"
 	"exaresil/internal/report"
@@ -115,6 +116,13 @@ func runSweep(trials int, seed uint64, workers int, quick, vr bool) error {
 	}
 	rep.Write(os.Stdout)
 	fmt.Printf("(sweep of %d cells in %v)\n", len(rep.Cells), time.Since(start).Round(time.Millisecond))
+	// Every technique in the core menu must be covered by exactly one cell
+	// per grid point: a technique added to core without check coverage (or
+	// a sweep that silently dropped cells) fails loudly here.
+	if want := len(s.MTBFs) * len(s.Classes) * len(s.Fractions) * len(core.Techniques()); len(rep.Cells) != want {
+		return fmt.Errorf("sweep covered %d cells, want %d (%d MTBFs x %d classes x %d sizes x %d core techniques); a technique may lack check coverage",
+			len(rep.Cells), want, len(s.MTBFs), len(s.Classes), len(s.Fractions), len(core.Techniques()))
+	}
 	if !rep.OK() {
 		return fmt.Errorf("audit failed: %d conformance failures, %d invariant violations, %d metamorphic failures, %d metrics reconciliation failures",
 			rep.ConformanceFailures(), len(rep.Violations), len(rep.Metamorphic), len(rep.MetricsChecks))
@@ -147,6 +155,18 @@ func goldenExhibits(cfg experiments.Config) []struct {
 		// virtual clock, so the whole capacity curve is a pure function of
 		// the pinned seed (see internal/load).
 		{"loadsweep", load.GoldenSweepTable},
+		// The expanded-menu selection study, reduced to two MTBFs, three
+		// sizes, and three probe pairs per arm: enough cells to pin where
+		// the post-2017 techniques dethrone the 2017 winners.
+		{"ext-menu2", func() (*report.Table, error) {
+			t, _, err := experiments.Menu2Spec{
+				Config:       cfg,
+				MTBFs:        []units.Duration{10 * units.Year, units.Duration(2.5) * units.Year},
+				Fractions:    []float64{0.01, 0.12, 0.50},
+				PairedTrials: 3,
+			}.Run()
+			return t, err
+		}},
 	}
 }
 

@@ -75,6 +75,12 @@ const (
 	PartialRedundancy = core.PartialRedundancy
 	// FullRedundancy replicates every virtual node (r = 2.0).
 	FullRedundancy = core.FullRedundancy
+	// InMemoryReplicatedCheckpoint keeps checkpoints replicated in peer
+	// memory, ReStore-style (post-2017 extension).
+	InMemoryReplicatedCheckpoint = core.InMemoryReplicatedCheckpoint
+	// LightweightReplication runs two loosely-synchronized teams,
+	// TeaMPI-style (post-2017 extension).
+	LightweightReplication = core.LightweightReplication
 )
 
 // The resource-management heuristics (paper Section III-D).
@@ -115,7 +121,8 @@ var (
 // Classes returns the eight Table I application classes.
 func Classes() []AppClass { return workload.Classes() }
 
-// Techniques returns the five technique variants of the scaling studies.
+// Techniques returns the full technique menu: the paper's five variants
+// plus the post-2017 extensions.
 func Techniques() []Technique { return core.Techniques() }
 
 // Schedulers returns the three resource-management heuristics.

@@ -3,6 +3,7 @@ package exaresil
 import (
 	"testing"
 
+	"exaresil/internal/core"
 	"exaresil/internal/units"
 )
 
@@ -130,8 +131,12 @@ func TestEnumerationsExported(t *testing.T) {
 	if len(Classes()) != 8 {
 		t.Error("Classes() should list 8 Table I classes")
 	}
-	if len(Techniques()) != 5 {
-		t.Error("Techniques() should list 5 technique variants")
+	if len(Techniques()) != 7 {
+		t.Error("Techniques() should list 7 technique variants")
+	}
+	if InMemoryReplicatedCheckpoint != core.InMemoryReplicatedCheckpoint ||
+		LightweightReplication != core.LightweightReplication {
+		t.Error("post-2017 technique aliases should match core")
 	}
 	if len(Schedulers()) != 3 {
 		t.Error("Schedulers() should list 3 heuristics")

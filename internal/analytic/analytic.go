@@ -61,6 +61,10 @@ func Efficiency(t core.Technique, app workload.App, cfg machine.Config, model *f
 		return redundantEfficiency(app, cfg, costs, model, 1.5), nil
 	case core.FullRedundancy:
 		return redundantEfficiency(app, cfg, costs, model, 2.0), nil
+	case core.InMemoryReplicatedCheckpoint:
+		return restoreEfficiency(app, costs, model, opts.ReStoreReplicas()), nil
+	case core.LightweightReplication:
+		return teamReplicationEfficiency(app, cfg, costs, model, opts.TeamSyncPenalty), nil
 	default:
 		return 0, fmt.Errorf("analytic: no model for technique %v", t)
 	}
@@ -180,6 +184,146 @@ func redundantEfficiency(app workload.App, cfg machine.Config, costs resilience.
 		return 0
 	}
 	return clamp01((1 - loss) / overhead)
+}
+
+// relaunchRenewalEfficiency scores a scheme whose only recovery from some
+// rare catastrophic event (rate lambda per minute) is a full relaunch from
+// the PFS input: the exact renewal expectation of exactPeriodicEfficiency
+// with the whole job as the exposure window,
+//
+//	M = e^(lambda*R) * (e^(lambda*M0) - 1) / lambda,
+//
+// where M0 is the expected makespan absent such events and R the relaunch
+// cost. Efficiency is the true baseline over M.
+func relaunchRenewalEfficiency(baseline, m0, lambda, relaunch float64) float64 {
+	if m0 <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return clamp01(baseline / m0)
+	}
+	x := lambda * m0
+	if x > 690 { // e^x overflows float64; the job effectively never finishes
+		return 0
+	}
+	m := math.Exp(lambda*relaunch) * math.Expm1(x) / lambda
+	if math.IsInf(m, 1) || m <= 0 {
+		return 0
+	}
+	return clamp01(baseline / m)
+}
+
+// severityPMF reports the model's severity weights (transient, node loss,
+// catastrophic), normalized.
+func severityPMF(model *failures.Model) (p1, p2, p3 float64) {
+	pmf := model.PMF()
+	total := pmf[0] + pmf[1] + pmf[2]
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	return pmf[0] / total, pmf[1] / total, pmf[2] / total
+}
+
+// restoreEfficiency models In-Memory Replicated Checkpoint (ReStore,
+// arXiv:2203.01107). Ordinary failures see the cheap in-memory scheme —
+// the exact periodic renewal at the replicated-checkpoint cost C_mem and
+// restore cost R_mem — while the rare loss of all k replica holders within
+// one checkpoint interval relaunches the job from its PFS input, a second
+// renewal layer composed on top. With the replica degree unavailable
+// (N_a <= k) the executor degenerates to Checkpoint Restart, and so does
+// the model.
+func restoreEfficiency(app workload.App, costs resilience.Costs, model *failures.Model, k int) float64 {
+	rate := model.Rate(app.Nodes)
+	lambda := rate.PerMinute()
+	if k <= 0 || app.Nodes <= k {
+		return exactPeriodicEfficiency(1, costs.PFS, costs.PFS, lambda)
+	}
+	cMem := resilience.ReplicatedCheckpointCost(costs, k)
+	rMem := resilience.ReplicatedRestoreCost(costs)
+	effBase := exactPeriodicEfficiency(1, cMem, rMem, lambda)
+	if effBase <= 0 {
+		return 0
+	}
+	baseline := app.Baseline().Minutes()
+	if lambda <= 0 {
+		return clamp01(effBase)
+	}
+	tau, ok := resilience.DalyPeriod(cMem, rate)
+	if !ok {
+		return 0
+	}
+	d := tau.Minutes() + cMem.Minutes()
+	lambdaLoss := replicaSetLossProb(model, k, lambda, d) / d
+	return relaunchRenewalEfficiency(baseline, baseline/effBase, lambdaLoss, costs.PFS.Minutes())
+}
+
+// replicaSetLossProb is the probability that the failures within one
+// checkpoint exposure window of d minutes destroy at least k replica
+// holders. Failures arrive Poisson at rate lambda; a node loss (severity 2)
+// takes one holder's copy and a catastrophic failure (severity 3) two, so
+// with q the catastrophic share of loss-causing failures,
+//
+//	P(survive) = sum_{n=0}^{k-1} Pois(n; a) * P(Binomial(n, q) <= k-1-n),
+//
+// a = lambda*(p2+p3)*d being the expected loss events per window (n loss
+// events destroy at least n copies, so n >= k events always lose the set).
+// The loops are O(k^2) with no allocation, batch-evaluator safe.
+func replicaSetLossProb(model *failures.Model, k int, lambda, d float64) float64 {
+	_, p2, p3 := severityPMF(model)
+	pLossy := p2 + p3
+	if pLossy <= 0 {
+		return 0
+	}
+	a := lambda * pLossy * d
+	q := p3 / pLossy
+	survive := 0.0
+	pois := math.Exp(-a) // Pois(0; a)
+	for n := 0; n < k; n++ {
+		if n > 0 {
+			pois *= a / float64(n)
+		}
+		// P(j catastrophic among n | at most k-1-n of them), iteratively:
+		// term(0) = (1-q)^n, term(j) = term(j-1) * (n-j+1)/j * q/(1-q).
+		binom := 0.0
+		term := math.Pow(1-q, float64(n))
+		if q >= 1 {
+			// Every loss event is catastrophic: n events lose 2n copies.
+			if 2*n <= k-1 {
+				binom = 1
+			}
+		} else {
+			for j := 0; j <= n && n+j <= k-1; j++ {
+				if j > 0 {
+					term *= float64(n-j+1) / float64(j) * q / (1 - q)
+				}
+				binom += term
+			}
+		}
+		survive += pois * binom
+	}
+	return clamp01(1 - survive)
+}
+
+// teamReplicationEfficiency models Lightweight Replication (TeaMPI,
+// arXiv:2005.12091). The steady state is just the (1 + s) sync stretch on
+// the communication term; the only rollbacks are full relaunches, at the
+// rate of catastrophic failures (which take a node and its twin together)
+// plus twin double failures — a node loss landing while the struck node's
+// twin is still inside its re-sync window W:
+//
+//	lambda_d = lambda(2N)*p3 + 2N * (lambda_node*p2)^2 * W.
+func teamReplicationEfficiency(app workload.App, cfg machine.Config, costs resilience.Costs, model *failures.Model, sync float64) float64 {
+	phys := 2 * app.Nodes
+	if phys > cfg.Nodes {
+		return 0
+	}
+	_, p2, p3 := severityPMF(model)
+	lambdaNode := model.Rate(1).PerMinute()
+	w := costs.L2.Minutes()
+	lambdaD := model.Rate(phys).PerMinute()*p3 +
+		float64(phys)*(lambdaNode*p2)*(lambdaNode*p2)*w
+	m0 := resilience.TeamReplicationBaseline(app, sync).Minutes()
+	return relaunchRenewalEfficiency(app.Baseline().Minutes(), m0, lambdaD, costs.PFS.Minutes())
 }
 
 // severityRates splits an application's failure rate across the severity

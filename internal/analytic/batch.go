@@ -131,7 +131,8 @@ func NewEvaluator(g Grid) (*Evaluator, error) {
 	for _, t := range g.Techniques {
 		switch t {
 		case core.Ideal, core.CheckpointRestart, core.ParallelRecovery,
-			core.MultilevelCheckpoint, core.PartialRedundancy, core.FullRedundancy:
+			core.MultilevelCheckpoint, core.PartialRedundancy, core.FullRedundancy,
+			core.InMemoryReplicatedCheckpoint, core.LightweightReplication:
 		default:
 			return nil, fmt.Errorf("analytic: no model for technique %v", t)
 		}
@@ -172,6 +173,10 @@ func (e *Evaluator) Eval() []float64 {
 					eff = redundantEfficiency(app, cfg, costs, model, 1.5)
 				case core.FullRedundancy:
 					eff = redundantEfficiency(app, cfg, costs, model, 2.0)
+				case core.InMemoryReplicatedCheckpoint:
+					eff = restoreEfficiency(app, costs, model, e.grid.Resilience.ReStoreReplicas())
+				case core.LightweightReplication:
+					eff = teamReplicationEfficiency(app, cfg, costs, model, e.grid.Resilience.TeamSyncPenalty)
 				}
 				e.eff[base+ti] = eff
 			}

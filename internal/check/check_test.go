@@ -236,8 +236,8 @@ func TestSweepSmallGridClean(t *testing.T) {
 		rep.Write(&b)
 		t.Fatalf("audit not clean:\n%s", b.String())
 	}
-	if len(rep.Cells) != 1*2*2*5 {
-		t.Errorf("expected 20 cells, got %d", len(rep.Cells))
+	if len(rep.Cells) != 1*2*2*7 {
+		t.Errorf("expected 28 cells, got %d", len(rep.Cells))
 	}
 	for _, c := range rep.Cells {
 		if c.Sim.N != 15 {

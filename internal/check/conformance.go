@@ -63,7 +63,7 @@ type Sweep struct {
 	Classes []workload.Class
 	// Fractions is the node-count axis, as machine fractions.
 	Fractions []float64
-	// Techniques defaults to all five.
+	// Techniques defaults to the full seven-technique menu.
 	Techniques []core.Technique
 	// TimeSteps is T_S per application (default 1440).
 	TimeSteps int
@@ -87,7 +87,8 @@ type Sweep struct {
 }
 
 // DefaultSweep is the grid exacheck runs: 2 MTBFs x 2 classes x 4 sizes x
-// 5 techniques = 80 cells.
+// 7 techniques = 112 cells (the paper's five plus the post-2017 ReStore
+// and TeaMPI extensions).
 func DefaultSweep() Sweep {
 	return Sweep{
 		Machine:    machine.Exascale(),

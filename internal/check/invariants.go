@@ -57,6 +57,15 @@ func (v Violation) String() string {
 type Checker struct {
 	tech       core.Technique
 	multilevel bool
+	// reStore enables the replica-holder-loss mirror: degree is k and lost
+	// counts the holders destroyed since the last commit, so the checker
+	// independently predicts when a restore must degrade to a from-scratch
+	// relaunch. A degenerate ReStore executor (no peers for the replicas)
+	// behaves — and is mirrored — exactly as Checkpoint Restart.
+	reStore           bool
+	reStoreDegenerate bool
+	reStoreDegree     int
+	reStoreLost       int // per-run, reset by BeginRun
 
 	context    string
 	violations []Violation
@@ -116,10 +125,16 @@ func (c *Checker) RunSeverities() [4]int { return c.severities }
 // effective-work total (a pure function of the strategy, reported by every
 // Result) is supplied per run via BeginRun.
 func NewChecker(x resilience.Executor) *Checker {
-	return &Checker{
+	c := &Checker{
 		tech:       x.Technique(),
 		multilevel: x.Technique() == core.MultilevelCheckpoint,
 	}
+	if info, ok := resilience.ReStoreInfoOf(x); ok {
+		c.reStore = !info.Degenerate
+		c.reStoreDegenerate = info.Degenerate
+		c.reStoreDegree = info.Degree
+	}
+	return c
 }
 
 // BeginRun resets the per-run state. label names the run in violations.
@@ -140,6 +155,7 @@ func (c *Checker) BeginRun(label string) {
 	c.severities = [4]int{}
 	c.ckptWallStart, c.restoreWallStart = 0, 0
 	c.split = PhaseSplit{}
+	c.reStoreLost = 0
 }
 
 // Violations returns every violation recorded so far, across runs.
@@ -205,6 +221,9 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 			c.checkpoints[l]++
 		}
 		c.inCheckpoint = false
+		// A ReStore commit re-provisions the replica set: only holder
+		// losses after this point can combine to destroy it.
+		c.reStoreLost = 0
 
 	case resilience.TraceFailure:
 		c.failures++
@@ -235,6 +254,17 @@ func (c *Checker) Observe(ev resilience.TraceEvent) {
 			for level := 1; level < sev && level <= 3; level++ {
 				c.has[level] = false
 				c.committed[level] = 0
+			}
+		}
+		if c.reStore {
+			// Mirror the replica ledger: a node loss destroys one holder's
+			// copy, a catastrophic failure two; once the losses since the
+			// last commit reach the degree, the in-memory checkpoint is gone
+			// and the only legal restore is a from-scratch relaunch.
+			c.reStoreLost += holderCopiesLost(sev)
+			if c.reStoreLost >= c.reStoreDegree {
+				c.has[2] = false
+				c.committed[2] = 0
 			}
 		}
 		c.restorePending = true
@@ -338,6 +368,17 @@ func (c *Checker) checkLevelRange(ev resilience.TraceEvent, what string) {
 		ok = ev.Level == 2
 	case core.MultilevelCheckpoint:
 		ok = ev.Level >= 1 && ev.Level <= 3
+	case core.InMemoryReplicatedCheckpoint:
+		// Peer-RAM replicas are partner-level storage (level 2); the
+		// degenerate fallback writes to the PFS like Checkpoint Restart.
+		if c.reStoreDegenerate {
+			ok = ev.Level == 3
+		} else {
+			ok = ev.Level == 2
+		}
+	case core.LightweightReplication:
+		// The scheme keeps no checkpoints at all.
+		ok = false
 	}
 	if !ok {
 		c.fail(ev.Time, "%v %s at level %d outside the technique's hierarchy", c.tech, what, ev.Level)
@@ -423,6 +464,20 @@ func completionTol(work units.Duration) float64 {
 		t = progressEpsilon
 	}
 	return t
+}
+
+// holderCopiesLost mirrors the ReStore strategy's severity mapping: node
+// losses destroy one replica holder's copy, catastrophic failures a node
+// and its partner — two copies; transients leave memory intact.
+func holderCopiesLost(severity int) int {
+	switch severity {
+	case 2:
+		return 1
+	case 3:
+		return 2
+	default:
+		return 0
+	}
 }
 
 func clamp(level int) int {

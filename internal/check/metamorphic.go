@@ -29,11 +29,18 @@ const mtbfSlack = 0.02
 //     mu = 1 + T_C/10 (Eq. 7), for every class.
 //  3. Redundancy's baseline stretch is linear in the degree r through the
 //     communication term (Eq. 8), and its footprint is ceil(r * N_a).
+//  4. ReStore's replica-degree ordering: the replicated-checkpoint cost is
+//     linear in the degree k, and an unavailable degree degenerates to
+//     Checkpoint Restart run-for-run.
+//  5. Lightweight Replication's stretch sits between the plain baseline
+//     and full redundancy's Eq. 8 stretch, on a 2 * N_a footprint.
 func (s Sweep) metamorphic() []string {
 	var fails []string
 	fails = append(fails, s.checkMTBFMonotone()...)
 	fails = append(fails, s.checkMuScaling()...)
 	fails = append(fails, s.checkRedundancyScaling()...)
+	fails = append(fails, s.checkReplicaDegreeOrdering()...)
+	fails = append(fails, s.checkTeamReplicationStretch()...)
 	return fails
 }
 
@@ -176,6 +183,142 @@ func (s Sweep) checkRedundancyScaling() []string {
 					nodes, r, got, want))
 			}
 		}
+	}
+	return fails
+}
+
+// checkReplicaDegreeOrdering pins ReStore's replica-degree structure: the
+// replicated-checkpoint cost is exactly linear in the degree k (k one-way
+// partner copies), an unavailable degree degenerates to Checkpoint Restart
+// run-for-run on identical seeds, and at a failure-heavy operating point a
+// higher degree cannot hurt: at k = 2 every catastrophic failure (which
+// destroys a node and its partner — two copies) loses the replica set and
+// relaunches the job, while k = 3 survives it for a checkpoint-cost
+// increase that is negligible against L2-scale writes, so mean efficiency
+// at k = 3 must not fall below k = 2 beyond Monte-Carlo slack. (No such
+// ordering holds against Checkpoint Restart: CR never loses its PFS
+// checkpoint, so at low MTBF the k = 2 set losses can pull ReStore below
+// it — that cross-technique trade is exactly what ext-menu2 maps.)
+func (s Sweep) checkReplicaDegreeOrdering() []string {
+	var fails []string
+
+	// Cost linearity: cost(k) = k * L2/2 exactly.
+	app := workload.App{Class: workload.C64, TimeSteps: s.TimeSteps, Nodes: s.Machine.NodesForFraction(0.10)}
+	costs := resilience.ComputeCosts(app, s.Machine)
+	c1 := float64(resilience.ReplicatedCheckpointCost(costs, 1))
+	for k := 2; k <= 5; k++ {
+		ck := float64(resilience.ReplicatedCheckpointCost(costs, k))
+		if !closeRel(ck, float64(k)*c1) {
+			fails = append(fails, fmt.Sprintf(
+				"replica-degree: checkpoint cost not linear in k: cost(%d)=%v, want %d*cost(1)=%v",
+				k, ck, k, float64(k)*c1))
+		}
+	}
+
+	mtbf := units.Duration(2.5) * units.Year
+	cfg := s.Machine.WithMTBF(mtbf)
+	model, err := failures.NewModel(mtbf, s.PMF)
+	if err != nil {
+		return append(fails, fmt.Sprintf("replica-degree: %v", err))
+	}
+
+	// Degeneration: a replica degree no smaller than the application is
+	// unavailable (no peers can hold the copies), and the executor must be
+	// run-for-run identical to Checkpoint Restart.
+	small := workload.App{Class: workload.C64, TimeSteps: s.TimeSteps, Nodes: 2}
+	opts := s.Resilience
+	opts.ReStoreDegree = small.Nodes
+	degen, err := resilience.New(core.InMemoryReplicatedCheckpoint, small, cfg, model, opts)
+	if err != nil {
+		return append(fails, fmt.Sprintf("replica-degree: %v", err))
+	}
+	cr, err := resilience.New(core.CheckpointRestart, small, cfg, model, s.Resilience)
+	if err != nil {
+		return append(fails, fmt.Sprintf("replica-degree: %v", err))
+	}
+	horizon := units.Duration(float64(small.Baseline()) * 100)
+	for trial := 0; trial < 3; trial++ {
+		seed := s.Seed + uint64(trial)
+		a := degen.Run(0, horizon, rng.New(seed))
+		b := cr.Run(0, horizon, rng.New(seed))
+		a.Technique = b.Technique // the label is the only permitted difference
+		if a != b {
+			fails = append(fails, fmt.Sprintf(
+				"replica-degree: degenerate ReStore diverged from Checkpoint Restart on seed %d:\n restore: %+v\n      cr: %+v",
+				seed, a, b))
+		}
+	}
+
+	// Degree ordering at the failure-heavy point, on common random numbers.
+	eff := func(degree int) (float64, error) {
+		o := s.Resilience
+		o.ReStoreDegree = degree
+		x, err := resilience.New(core.InMemoryReplicatedCheckpoint, app, cfg, model, o)
+		if err != nil {
+			return 0, err
+		}
+		return appsim.Run(appsim.TrialSpec{Executor: x, Trials: s.Trials, Seed: s.Seed}).Efficiency.Mean, nil
+	}
+	eff2, err := eff(2)
+	if err != nil {
+		return append(fails, fmt.Sprintf("replica-degree: %v", err))
+	}
+	eff3, err := eff(3)
+	if err != nil {
+		return append(fails, fmt.Sprintf("replica-degree: %v", err))
+	}
+	if eff3 < eff2-mtbfSlack {
+		fails = append(fails, fmt.Sprintf(
+			"replica-degree: efficiency fell from %.4f at k=2 to %.4f at k=3 (%s MTBF)",
+			eff2, eff3, mtbf))
+	}
+	return fails
+}
+
+// checkTeamReplicationStretch pins Lightweight Replication's steady-state
+// model: its baseline stretch T_S * (T_W + (1+s) * T_C) is bounded below by
+// the plain baseline (equality exactly when s = 0) and strictly below full
+// redundancy's Eq. 8 stretch for s < 1 on every communicating class, and
+// its physical footprint is 2 * N_a like full redundancy's.
+func (s Sweep) checkTeamReplicationStretch() []string {
+	var fails []string
+	sync := s.Resilience.TeamSyncPenalty
+	for _, class := range workload.Classes() {
+		app := workload.App{Class: class, TimeSteps: s.TimeSteps, Nodes: s.Machine.NodesForFraction(0.01)}
+		team := float64(resilience.TeamReplicationBaseline(app, sync))
+		full := float64(resilience.RedundantBaseline(app, 2.0))
+		base := float64(app.Baseline())
+		if team < base-1e-9 {
+			fails = append(fails, fmt.Sprintf(
+				"team-stretch %s: team baseline %v below the plain baseline %v", class.Name, team, base))
+		}
+		if team > full+1e-9 {
+			fails = append(fails, fmt.Sprintf(
+				"team-stretch %s: team baseline %v above full redundancy's %v", class.Name, team, full))
+		}
+		if class.CommFraction > 0 && sync < 1 && team >= full {
+			fails = append(fails, fmt.Sprintf(
+				"team-stretch %s: sync penalty %.2f did not undercut full redundancy's lockstep stretch",
+				class.Name, sync))
+		}
+		if zero := float64(resilience.TeamReplicationBaseline(app, 0)); !closeRel(zero, base) {
+			fails = append(fails, fmt.Sprintf(
+				"team-stretch %s: s=0 baseline %v, want the plain baseline %v", class.Name, zero, base))
+		}
+	}
+
+	mtbf := 10 * units.Year
+	model, err := failures.NewModel(mtbf, s.PMF)
+	if err != nil {
+		return append(fails, fmt.Sprintf("team-stretch: %v", err))
+	}
+	app := workload.App{Class: workload.C64, TimeSteps: s.TimeSteps, Nodes: s.Machine.NodesForFraction(0.10)}
+	x, err := resilience.New(core.LightweightReplication, app, s.Machine.WithMTBF(mtbf), model, s.Resilience)
+	if err != nil {
+		return append(fails, fmt.Sprintf("team-stretch: %v", err))
+	}
+	if got, want := x.PhysicalNodes(), 2*app.Nodes; got != want {
+		fails = append(fails, fmt.Sprintf("team-stretch: footprint %d physical nodes, want 2*N_a = %d", got, want))
 	}
 	return fails
 }

@@ -7,8 +7,8 @@ import (
 
 func TestTechniqueEnumeration(t *testing.T) {
 	ts := Techniques()
-	if len(ts) != 5 {
-		t.Fatalf("Techniques() lists %d, want 5", len(ts))
+	if len(ts) != 7 {
+		t.Fatalf("Techniques() lists %d, want 7", len(ts))
 	}
 	seen := map[Technique]bool{}
 	for _, tech := range ts {
@@ -23,6 +23,18 @@ func TestTechniqueEnumeration(t *testing.T) {
 		}
 		seen[tech] = true
 	}
+	paper := PaperTechniques()
+	if len(paper) != 5 {
+		t.Fatalf("PaperTechniques() lists %d, want the paper's 5", len(paper))
+	}
+	for i, tech := range paper {
+		if ts[i] != tech {
+			t.Errorf("PaperTechniques()[%d] = %v, want the same order as Techniques()", i, tech)
+		}
+		if tech == InMemoryReplicatedCheckpoint || tech == LightweightReplication {
+			t.Errorf("post-2017 extension %v should not appear among the paper techniques", tech)
+		}
+	}
 	if len(ClusterTechniques()) != 3 {
 		t.Error("cluster studies use 3 techniques")
 	}
@@ -35,12 +47,14 @@ func TestTechniqueEnumeration(t *testing.T) {
 
 func TestTechniqueStrings(t *testing.T) {
 	want := map[Technique]string{
-		Ideal:                "Ideal",
-		CheckpointRestart:    "Checkpoint Restart",
-		MultilevelCheckpoint: "Multilevel Checkpoint",
-		ParallelRecovery:     "Parallel Recovery",
-		PartialRedundancy:    "Redundancy r=1.5",
-		FullRedundancy:       "Redundancy r=2.0",
+		Ideal:                        "Ideal",
+		CheckpointRestart:            "Checkpoint Restart",
+		MultilevelCheckpoint:         "Multilevel Checkpoint",
+		ParallelRecovery:             "Parallel Recovery",
+		PartialRedundancy:            "Redundancy r=1.5",
+		FullRedundancy:               "Redundancy r=2.0",
+		InMemoryReplicatedCheckpoint: "In-Memory Replicated Checkpoint",
+		LightweightReplication:       "Lightweight Replication",
 	}
 	for tech, s := range want {
 		if tech.String() != s {
@@ -57,15 +71,19 @@ func TestTechniqueStrings(t *testing.T) {
 
 func TestParseTechniqueRoundTrip(t *testing.T) {
 	names := map[string]Technique{
-		"ideal":              Ideal,
-		"cr":                 CheckpointRestart,
-		"checkpoint-restart": CheckpointRestart,
-		"ml":                 MultilevelCheckpoint,
-		"multilevel":         MultilevelCheckpoint,
-		"pr":                 ParallelRecovery,
-		"parallel-recovery":  ParallelRecovery,
-		"red1.5":             PartialRedundancy,
-		"red2.0":             FullRedundancy,
+		"ideal":                   Ideal,
+		"cr":                      CheckpointRestart,
+		"checkpoint-restart":      CheckpointRestart,
+		"ml":                      MultilevelCheckpoint,
+		"multilevel":              MultilevelCheckpoint,
+		"pr":                      ParallelRecovery,
+		"parallel-recovery":       ParallelRecovery,
+		"red1.5":                  PartialRedundancy,
+		"red2.0":                  FullRedundancy,
+		"restore":                 InMemoryReplicatedCheckpoint,
+		"in-memory-replicated":    InMemoryReplicatedCheckpoint,
+		"teampi":                  LightweightReplication,
+		"lightweight-replication": LightweightReplication,
 	}
 	for name, want := range names {
 		got, err := ParseTechnique(name)

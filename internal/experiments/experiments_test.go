@@ -77,8 +77,9 @@ func TestScalingStudyShapes(t *testing.T) {
 			t.Fatalf("missing PR point at %v", frac)
 		}
 		// Claim (Fig. 1): Parallel Recovery is the most efficient at every
-		// size for low-communication applications.
-		for _, tech := range core.Techniques() {
+		// size for low-communication applications. The figure reproduces
+		// the paper's menu (PaperTechniques), not the full extended one.
+		for _, tech := range core.PaperTechniques() {
 			p, ok := res.Point(tech, frac)
 			if !ok {
 				t.Fatalf("missing %v point at %v", tech, frac)

@@ -76,7 +76,10 @@ func (s ScalingSpec) withDefaults() ScalingSpec {
 		s.Trials = 200
 	}
 	if s.Techniques == nil {
-		s.Techniques = core.Techniques()
+		// The paper's five, not the full menu: Figures 1-3 reproduce the
+		// 2017 exhibits, whose pinned outputs must not shift as the
+		// repository's technique menu grows (ext-menu2 covers the rest).
+		s.Techniques = core.PaperTechniques()
 	}
 	if s.Class.Name == "" {
 		s.Class = workload.A32

@@ -28,7 +28,7 @@ type WhatIfSpec struct {
 	Fractions []float64
 	// TimeSteps is T_S per application (default 1440).
 	TimeSteps int
-	// Techniques is the technique axis (default all five).
+	// Techniques is the technique axis (default the full seven-technique menu).
 	Techniques []core.Technique
 }
 

@@ -92,6 +92,36 @@ func RedundantBaseline(app workload.App, r float64) units.Duration {
 	return units.Duration(float64(app.TimeSteps) * perStep * float64(units.Minute))
 }
 
+// ReplicatedCheckpointCost is the time to replicate one checkpoint across
+// k peer-RAM holders, ReStore-style (arXiv:2203.01107): k one-way partner
+// copies, each half of the symmetric L2 exchange of Eq. 6.
+func ReplicatedCheckpointCost(c Costs, k int) units.Duration {
+	if k < 1 {
+		k = 1
+	}
+	return units.Duration(float64(k)) * c.L2 / 2
+}
+
+// ReplicatedRestoreCost is the time to scatter-read one surviving in-memory
+// replica back onto the failed node's replacement: a single one-way copy.
+func ReplicatedRestoreCost(c Costs) units.Duration { return c.L2 / 2 }
+
+// TeamReplicationBaseline is the failure-free execution time under
+// TeaMPI-style lightweight replication (arXiv:2005.12091): the teams run
+// decoupled, so computation is not duplicated, but the lagging team's
+// heartbeat and synchronization traffic stretches the communication term
+// by (1 + s):
+//
+//	T_B' = T_S * (T_W + (1 + s) * T_C).
+//
+// For s < 1 this is strictly below full redundancy's Eq. 8 stretch of
+// T_S * (T_W + 2 * T_C) on every communicating class, which is the scheme's
+// whole point.
+func TeamReplicationBaseline(app workload.App, s float64) units.Duration {
+	perStep := app.Class.WorkFraction() + (1+s)*app.Class.CommFraction
+	return units.Duration(float64(app.TimeSteps) * perStep * float64(units.Minute))
+}
+
 // RedundantNodes reports the physical node count an application of N_a
 // virtual nodes occupies at redundancy degree r (rounded up: a degree of
 // 1.5 on 3 virtual nodes still needs 5 physical nodes).

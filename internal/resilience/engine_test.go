@@ -604,6 +604,60 @@ func TestSemiBlockingValidation(t *testing.T) {
 	}
 }
 
+func TestPost2017ConfigValidation(t *testing.T) {
+	// The post-2017 knobs follow the defaulting-audit pattern: the zero
+	// value selects the documented default, values inside the model's
+	// validity range pass, and anything outside is rejected with an error
+	// naming the parameter.
+	mutate := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name   string
+		cfg    Config
+		wantOK bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"zero degree defaults", mutate(func(c *Config) { c.ReStoreDegree = 0 }), true},
+		{"high degree", mutate(func(c *Config) { c.ReStoreDegree = 5 }), true},
+		{"negative degree", mutate(func(c *Config) { c.ReStoreDegree = -1 }), false},
+		{"zero sync penalty", mutate(func(c *Config) { c.TeamSyncPenalty = 0 }), true},
+		{"near-unit sync penalty", mutate(func(c *Config) { c.TeamSyncPenalty = 0.99 }), true},
+		{"negative sync penalty", mutate(func(c *Config) { c.TeamSyncPenalty = -0.1 }), false},
+		{"unit sync penalty", mutate(func(c *Config) { c.TeamSyncPenalty = 1.0 }), false},
+		{"excess sync penalty", mutate(func(c *Config) { c.TeamSyncPenalty = 1.5 }), false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: accepted, want an error", tc.name)
+		}
+	}
+	if got := (Config{}).ReStoreReplicas(); got != 2 {
+		t.Errorf("zero-value replica degree resolved to %d, want the default 2", got)
+	}
+	if got := mutate(func(c *Config) { c.ReStoreDegree = 4 }).ReStoreReplicas(); got != 4 {
+		t.Errorf("explicit replica degree resolved to %d, want 4", got)
+	}
+	// New must refuse the out-of-range parameters end to end.
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	app := testApp(workload.C64, 12000)
+	bad := mutate(func(c *Config) { c.ReStoreDegree = -2 })
+	if _, err := New(core.InMemoryReplicatedCheckpoint, app, cfg, model, bad); err == nil {
+		t.Error("New accepted a negative replica degree")
+	}
+	bad = mutate(func(c *Config) { c.TeamSyncPenalty = 1.0 })
+	if _, err := New(core.LightweightReplication, app, cfg, model, bad); err == nil {
+		t.Error("New accepted a sync penalty of 1.0")
+	}
+}
+
 func TestSemiBlockingSnapshotSemantics(t *testing.T) {
 	// The committed checkpoint must hold the progress at checkpoint START:
 	// simulate with a huge failure rate so rollbacks are frequent, and

@@ -22,7 +22,7 @@ import (
 // internal/check).
 type Metrics struct {
 	des     *des.Metrics
-	perTech [int(core.FullRedundancy) + 1]techMetrics
+	perTech [int(core.LightweightReplication) + 1]techMetrics
 }
 
 // techMetrics is one technique's series.
@@ -51,6 +51,10 @@ func TechLabel(t core.Technique) string {
 		return "red1.5"
 	case core.FullRedundancy:
 		return "red2.0"
+	case core.InMemoryReplicatedCheckpoint:
+		return "restore"
+	case core.LightweightReplication:
+		return "teampi"
 	default:
 		return fmt.Sprintf("technique-%d", int(t))
 	}

@@ -145,6 +145,82 @@ func TestShorterAppsFinishSooner(t *testing.T) {
 	}
 }
 
+// TestLightweightReplicationUndercutsFullRedundancy pins the ordering the
+// TeaMPI paper claims: team replication trades full redundancy's duplicated
+// messages (Eq. 8) for a bounded synchronization penalty, so its inflated
+// work sits between the plain baseline and full redundancy's for every
+// class — strictly below full redundancy whenever the class communicates
+// and the penalty is below 1.
+func TestLightweightReplicationUndercutsFullRedundancy(t *testing.T) {
+	cfg := machine.Exascale()
+	model := defaultModel(cfg)
+	sync := DefaultConfig().TeamSyncPenalty
+	for _, class := range workload.Classes() {
+		app := workload.App{Class: class, TimeSteps: 720, Nodes: 12000}
+		base := app.Baseline()
+		team := TeamReplicationBaseline(app, sync)
+		full := RedundantBaseline(app, 2.0)
+		if team < base-1e-9 || team > full+1e-9 {
+			t.Errorf("%s: team baseline %v outside [base %v, full redundancy %v]",
+				class.Name, team, base, full)
+		}
+		if class.CommFraction > 0 && sync < 1 && team >= full {
+			t.Errorf("%s: team baseline %v does not undercut full redundancy %v",
+				class.Name, team, full)
+		}
+		// The executors expose exactly these baselines as effective work.
+		for _, tc := range []struct {
+			tech core.Technique
+			want units.Duration
+		}{
+			{core.LightweightReplication, team},
+			{core.FullRedundancy, full},
+		} {
+			x := mustExecutor(t, tc.tech, app, cfg, model)
+			res := x.Run(0, units.Duration(100*float64(app.Baseline())), rng.New(1))
+			if !res.Completed {
+				continue // an unlucky seed only skips the cross-check
+			}
+			if math.Abs(float64(res.EffectiveWork-tc.want)) > 1e-6 {
+				t.Errorf("%s/%v: effective work %v, want %v", class.Name, tc.tech, res.EffectiveWork, tc.want)
+			}
+		}
+	}
+}
+
+// TestReStoreDegenerateMatchesCheckpointRestart pins the exact degeneration:
+// with no peers able to hold replicas (N_a <= k), the In-Memory Replicated
+// Checkpoint executor must reproduce Checkpoint Restart run for run — same
+// period, same costs, same trajectory on the same random source.
+func TestReStoreDegenerateMatchesCheckpointRestart(t *testing.T) {
+	cfg := machine.Exascale().WithMTBF(units.Duration(2.5) * units.Year)
+	model := defaultModel(cfg)
+	app := workload.App{Class: workload.C64, TimeSteps: 720, Nodes: 2}
+	opts := DefaultConfig()
+	opts.ReStoreDegree = app.Nodes // no room for peers: must degenerate
+
+	rs, err := New(core.InMemoryReplicatedCheckpoint, app, cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := ReStoreInfoOf(rs); !ok || !info.Degenerate {
+		t.Fatalf("expected a degenerate ReStore executor, got %+v (ok=%v)", info, ok)
+	}
+	cr, err := New(core.CheckpointRestart, app, cfg, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := units.Duration(200 * float64(app.Baseline()))
+	for seed := uint64(0); seed < 5; seed++ {
+		a := rs.Run(0, horizon, rng.New(seed))
+		b := cr.Run(0, horizon, rng.New(seed))
+		a.Technique = b.Technique // the label is the only allowed difference
+		if a != b {
+			t.Fatalf("seed %d: degenerate ReStore diverged from Checkpoint Restart:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
 // TestZeroCommunicationClassesMatchAcrossMemory verifies that classes
 // differing only in memory footprint behave identically under techniques
 // whose costs do not depend on memory... none do (all checkpoint costs

@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"fmt"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// reStore implements ReStore-style in-memory replicated checkpoint storage
+// (Hespe et al., arXiv:2203.01107), a post-2017 extension of the paper's
+// menu: each checkpoint is written to the RAM of k peer nodes inside the
+// application's own allocation instead of to the parallel file system.
+// Checkpoints and restores are then partner-copy cheap (fractions of Eq.
+// 6's exchange cost), so the Daly period shrinks and almost no work is ever
+// lost — unless the failures since the last commit have destroyed all k
+// replica holders, in which case the checkpoint is gone and the application
+// relaunches from its PFS input at full PFS cost.
+//
+// Holder losses map onto the severity model: a transient failure (level 1)
+// leaves node memory intact and destroys no replica, a node loss (level 2)
+// destroys one holder's copy, and a catastrophic failure (level 3) takes a
+// node and its partner — two copies. Replicas are only re-provisioned by
+// the next checkpoint commit, so losses accumulate within an interval,
+// exactly the "k failures within one interval" exposure the ReStore paper
+// analyzes.
+//
+// When the replica degree is unavailable — no peers to hold copies
+// (N_a <= k) or a non-positive degree — the strategy degenerates to plain
+// Checkpoint Restart: PFS checkpoints at the PFS Daly period, every failure
+// restoring from the last PFS commit. The degeneration is exact
+// (run-for-run identical to the CheckpointRestart executor), which the
+// property tests pin.
+type reStore struct {
+	application workload.App
+	costs       Costs
+	degree      int
+	degenerate  bool
+	tau         units.Duration
+	ckptCost    units.Duration // per-checkpoint write cost
+	restoreCost units.Duration // restore cost while the replica set survives
+	level       int            // trace level of checkpoints and live restores
+
+	saved units.Duration
+	has   bool
+	lost  int // replica holders destroyed since the last commit
+}
+
+// newReStore builds the In-Memory Replicated Checkpoint executor with the
+// given replica degree k.
+func newReStore(app workload.App, costs Costs, model *failures.Model, degree int, periodScale float64) Executor {
+	s := &reStore{
+		application: app,
+		costs:       costs,
+		degree:      degree,
+		degenerate:  degree <= 0 || app.Nodes <= degree,
+	}
+	if s.degenerate {
+		// No peers can hold the replicas: fall back to PFS checkpointing,
+		// parameter-for-parameter identical to Checkpoint Restart.
+		s.ckptCost = costs.PFS
+		s.restoreCost = costs.PFS
+		s.level = 3
+	} else {
+		s.ckptCost = ReplicatedCheckpointCost(costs, degree)
+		s.restoreCost = ReplicatedRestoreCost(costs)
+		s.level = 2
+	}
+	x := &executor{strat: s, model: model, phys: app.Nodes, viable: true}
+	tau, ok := DalyPeriod(s.ckptCost, model.Rate(app.Nodes))
+	if !ok {
+		x.viable = false
+		x.reason = fmt.Sprintf("optimal replicated checkpoint period is non-positive (T_C=%s, rate=%s)",
+			s.ckptCost, model.Rate(app.Nodes))
+	}
+	s.tau = tau * units.Duration(periodScale)
+	return x
+}
+
+// holderLoss maps a failure severity to the number of replica copies it
+// destroys: transients leave memory intact, node losses take one holder,
+// catastrophic failures take a node and its partner.
+func holderLoss(sev failures.Severity) int {
+	switch sev {
+	case failures.SeverityNodeLoss:
+		return 1
+	case failures.SeverityCatastrophic:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (s *reStore) technique() core.Technique { return core.InMemoryReplicatedCheckpoint }
+func (s *reStore) app() workload.App         { return s.application }
+
+// physicalNodes: the replicas live inside the application's own allocation
+// (peer RAM), so the footprint is just N_a.
+func (s *reStore) physicalNodes() int { return s.application.Nodes }
+
+// effectiveWork: replication happens during checkpoint writes, not during
+// computation, so the work equals the baseline T_B.
+func (s *reStore) effectiveWork() units.Duration { return s.application.Baseline() }
+
+func (s *reStore) checkpointInterval() units.Duration { return s.tau }
+
+func (s *reStore) nextCheckpoint() (int, units.Duration) { return s.level, s.ckptCost }
+
+// onCheckpointDone commits the checkpoint and re-provisions its replica
+// set: only holder losses after this point can combine to destroy it.
+func (s *reStore) onCheckpointDone(_ int, progress units.Duration) {
+	s.saved = progress
+	s.has = true
+	s.lost = 0
+}
+
+// onFailure: every failure forces a restore. While the replica set survives
+// the restore is a cheap partner-copy read of the in-memory checkpoint;
+// once the losses since the last commit reach the degree k, the checkpoint
+// is gone and the application relaunches from its PFS input (trace level 0,
+// full PFS cost) — as it also does before the first commit.
+func (s *reStore) onFailure(f failures.Failure, _ units.Duration) response {
+	if !s.degenerate {
+		s.lost += holderLoss(f.Severity)
+		if s.lost >= s.degree {
+			// Replica set destroyed: invalidate the in-memory checkpoint
+			// until the next commit rebuilds it.
+			s.saved, s.has = 0, false
+		}
+	}
+	level, cost := 0, s.costs.PFS
+	if s.has {
+		level, cost = s.level, s.restoreCost
+	}
+	return response{
+		rollback:     true,
+		restoreTo:    s.saved,
+		restoreLevel: level,
+		restartCost:  cost,
+	}
+}
+
+func (s *reStore) recoverySpeed() float64 { return 1 }
+
+func (s *reStore) reset() { s.saved, s.has, s.lost = 0, false, 0 }
+
+func (s *reStore) clone() strategy {
+	dup := *s
+	return &dup
+}
+
+// ReStoreInfo describes an In-Memory Replicated Checkpoint executor's
+// resolved placement, for the conformance checker's trace mirror.
+type ReStoreInfo struct {
+	// Degree is the replica count k.
+	Degree int
+	// Degenerate reports the Checkpoint-Restart fallback (no peers can
+	// hold the replicas).
+	Degenerate bool
+}
+
+// ReStoreInfoOf reports the ReStore placement behind an executor, false for
+// executors of any other technique.
+func ReStoreInfoOf(x Executor) (ReStoreInfo, bool) {
+	e, ok := x.(*executor)
+	if !ok {
+		return ReStoreInfo{}, false
+	}
+	s, ok := e.strat.(*reStore)
+	if !ok {
+		return ReStoreInfo{}, false
+	}
+	return ReStoreInfo{Degree: s.degree, Degenerate: s.degenerate}, true
+}

@@ -34,6 +34,18 @@ type Config struct {
 	// al.): the checkpoint still takes its full cost in wall time, but
 	// computation overlaps it at this reduced rate. Must be < 1.
 	CheckpointComputeRate float64
+	// ReStoreDegree is k, the number of in-memory replicas each
+	// In-Memory Replicated Checkpoint keeps on peer nodes (ReStore,
+	// arXiv:2203.01107). Zero means the default of 2; negative degrees
+	// (an effective degree below 1) are rejected.
+	ReStoreDegree int
+	// TeamSyncPenalty is s, the steady-state synchronization overhead of
+	// Lightweight Replication (TeaMPI, arXiv:2005.12091): the lagging
+	// team's heartbeat and sync traffic stretches the per-step
+	// communication term by (1 + s). Must be in [0, 1); at s >= 1 the
+	// scheme would cost more than full redundancy's lockstep duplication,
+	// outside the model's validity.
+	TeamSyncPenalty float64
 }
 
 // DefaultConfig returns the parameter values used throughout the paper's
@@ -43,7 +55,18 @@ func DefaultConfig() Config {
 		RecoverySpeedup: 8,
 		Multilevel:      DefaultMultilevelConfig(),
 		PeriodScale:     1,
+		ReStoreDegree:   2,
+		TeamSyncPenalty: 0.05,
 	}
+}
+
+// ReStoreReplicas resolves the in-memory replica degree, treating the zero
+// value as the default of 2 (mirroring periodScale's zero handling).
+func (c Config) ReStoreReplicas() int {
+	if c.ReStoreDegree == 0 {
+		return 2
+	}
+	return c.ReStoreDegree
 }
 
 // periodScale resolves the interval multiplier, treating the zero value
@@ -65,6 +88,12 @@ func (c Config) Validate() error {
 	}
 	if c.CheckpointComputeRate < 0 || c.CheckpointComputeRate >= 1 {
 		return fmt.Errorf("resilience: checkpoint compute rate %v outside [0, 1)", c.CheckpointComputeRate)
+	}
+	if c.ReStoreDegree < 0 {
+		return fmt.Errorf("resilience: ReStore replica degree %d must be >= 1 (0 selects the default of 2)", c.ReStoreDegree)
+	}
+	if c.TeamSyncPenalty < 0 || c.TeamSyncPenalty >= 1 {
+		return fmt.Errorf("resilience: team sync penalty %v outside [0, 1)", c.TeamSyncPenalty)
 	}
 	return c.Multilevel.Validate()
 }
@@ -228,6 +257,10 @@ func New(t core.Technique, app workload.App, cfg machine.Config, model *failures
 		return withRate(newRedundancy(app, costs, model, 1.5, cfg.Nodes, scale)), nil
 	case core.FullRedundancy:
 		return withRate(newRedundancy(app, costs, model, 2.0, cfg.Nodes, scale)), nil
+	case core.InMemoryReplicatedCheckpoint:
+		return withRate(newReStore(app, costs, model, opts.ReStoreReplicas(), scale)), nil
+	case core.LightweightReplication:
+		return withRate(newTeamReplication(app, costs, model, opts.TeamSyncPenalty, cfg.Nodes)), nil
 	default:
 		return nil, fmt.Errorf("resilience: no executor for technique %v", t)
 	}

@@ -144,6 +144,11 @@ func NewSelector(cfg machine.Config, model *failures.Model, rc resilience.Config
 	if len(opts.Techniques) == 0 {
 		return nil, fmt.Errorf("selection: no candidate techniques")
 	}
+	for _, t := range opts.Techniques {
+		if !t.Valid() || t == core.Ideal {
+			return nil, fmt.Errorf("selection: invalid candidate technique %v", t)
+		}
+	}
 	if len(opts.SizeFractions) == 0 {
 		return nil, fmt.Errorf("selection: no size fractions")
 	}

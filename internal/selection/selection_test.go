@@ -210,6 +210,44 @@ func TestOptionsTrialValidation(t *testing.T) {
 	}
 }
 
+func TestOptionsCandidateValidation(t *testing.T) {
+	// The candidate menu must hold real, executable techniques: Ideal (the
+	// overhead-free baseline, not a selectable strategy) and out-of-range
+	// values are rejected before any probe runs.
+	cfg := machine.Exascale()
+	model := failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF())
+	rc := resilience.DefaultConfig()
+	bad := []struct {
+		name string
+		menu []core.Technique
+	}{
+		{"ideal candidate", []core.Technique{core.Ideal}},
+		{"ideal among real candidates", []core.Technique{core.CheckpointRestart, core.Ideal}},
+		{"unknown technique", []core.Technique{core.Technique(99)}},
+	}
+	for _, tc := range bad {
+		if _, err := NewSelector(cfg, model, rc, Options{Techniques: tc.menu}); err == nil {
+			t.Errorf("%s: menu %v accepted, want an error", tc.name, tc.menu)
+		}
+	}
+	// The full expanded menu (paper's five plus the post-2017 pair) builds.
+	s, err := NewSelector(cfg, model, rc, Options{
+		Techniques:    core.Techniques(),
+		Trials:        1,
+		TimeSteps:     60,
+		SizeFractions: []float64{0.01},
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatalf("expanded menu rejected: %v", err)
+	}
+	for _, c := range s.Choices() {
+		if len(c.Efficiency) != len(core.Techniques()) {
+			t.Fatalf("choice probed %d arms, want %d", len(c.Efficiency), len(core.Techniques()))
+		}
+	}
+}
+
 func TestOptionsTrialDefaulting(t *testing.T) {
 	// The zero trial configuration must fall back to the documented 20
 	// probes per arm, not degenerate to zero (a zero-trial appsim run

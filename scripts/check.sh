@@ -4,18 +4,21 @@
 # Runs, in order:
 #   1. go vet over every package, plus doc hygiene: every internal
 #      package carries a package comment and gofmt has nothing to say
-#   2. the race detector over the audit harness, the cluster layer, the
-#      obs metrics package, the shared experiments registry, the
-#      service stack — serve, chaos injector, retrying client, workload
-#      generator — and the hot-path packages of the raw-speed passes:
-#      selection, analytic, rng (pins the seed-determinism,
-#      metrics-attachment-is-inert, single-flight/backpressure,
-#      checkpoint/resume, substream, and
+#   2. the race detector over the audit harness, the resilience
+#      executors, the cluster layer, the obs metrics package, the shared
+#      experiments registry, the service stack — serve, chaos injector,
+#      retrying client, workload generator — and the hot-path packages
+#      of the raw-speed passes: selection, analytic, rng (pins the
+#      seed-determinism, metrics-attachment-is-inert,
+#      single-flight/backpressure, checkpoint/resume, substream, and
 #      disabled-hooks-allocation-free tests under -race)
 #   3. a fuzz smoke (10s per target) on the DES scheduler, the multilevel
-#      schedule search, and the workload pattern reader
+#      schedule search, the ReStore replica-loss bookkeeping, and the
+#      workload pattern reader
 #   4. the full conformance sweep (sim vs analytic, runtime invariants,
-#      metamorphic properties) — exits non-zero on any violation
+#      metamorphic properties) over the seven-technique menu, run twice:
+#      plain Monte-Carlo and variance-reduced (-vr, antithetic paired) —
+#      exits non-zero on any violation
 #   5. the golden-exhibit digest comparison against results/golden/
 #   6. three live end-to-end passes (set SOAK_REQUESTS=0 to skip all):
 #      exaserve -chaos vs the retrying exasoak client
@@ -48,18 +51,22 @@ done >/dev/null
 UNFMT=$(gofmt -l .)
 [ -z "$UNFMT" ] || { echo "gofmt wants to rewrite:"; echo "$UNFMT"; exit 1; }
 
-echo "== race detector on the audit harness, cluster layer, metrics, registry, and service stack"
-go test -race -count=1 ./internal/check/ ./internal/cluster/... ./internal/obs/... \
-	./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
+echo "== race detector on the audit harness, executors, cluster layer, metrics, registry, and service stack"
+go test -race -count=1 ./internal/check/ ./internal/resilience/ ./internal/cluster/... \
+	./internal/obs/... ./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
 	./internal/serveclient/ ./internal/load/ ./internal/selection/ ./internal/analytic/ ./internal/rng/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test ./internal/des/ -run='^$' -fuzz='^FuzzSimulatorPooledEquivalence$' -fuzztime="$FUZZTIME"
 go test ./internal/resilience/ -run='^$' -fuzz='^FuzzOptimizeMultilevel$' -fuzztime="$FUZZTIME"
+go test ./internal/resilience/ -run='^$' -fuzz='^FuzzReStoreReplicaLoss$' -fuzztime="$FUZZTIME"
 go test ./internal/workload/ -run='^$' -fuzz='^FuzzReadPattern$' -fuzztime="$FUZZTIME"
 
-echo "== conformance sweep"
+echo "== conformance sweep (plain)"
 go run ./cmd/exacheck "$@" sweep
+
+echo "== conformance sweep (variance-reduced)"
+go run ./cmd/exacheck "$@" -vr sweep
 
 echo "== golden exhibits"
 go run ./cmd/exacheck golden
