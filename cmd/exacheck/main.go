@@ -155,6 +155,13 @@ func goldenExhibits(cfg experiments.Config) []struct {
 		// virtual clock, so the whole capacity curve is a pure function of
 		// the pinned seed (see internal/load).
 		{"loadsweep", load.GoldenSweepTable},
+		// The heterogeneity study: homogeneous baseline vs. the mixed
+		// fleet under both placement policies, reduced to 3 patterns of
+		// 40 arrivals.
+		{"ext-hetero", func() (*report.Table, error) {
+			t, _, err := experiments.HeteroSpec{Config: cfg, Patterns: 3, Arrivals: 40}.Run()
+			return t, err
+		}},
 		// The expanded-menu selection study, reduced to two MTBFs, three
 		// sizes, and three probe pairs per arm: enough cells to pin where
 		// the post-2017 techniques dethrone the 2017 winners.

@@ -118,6 +118,7 @@ type genFlags struct {
 	seed    *uint64
 	zipfS   *float64
 	vocab   *int
+	trials  *int
 }
 
 func addGenFlags(fs *flag.FlagSet) genFlags {
@@ -128,6 +129,7 @@ func addGenFlags(fs *flag.FlagSet) genFlags {
 		seed:    fs.Uint64("seed", 1, "generator seed (equal seeds give byte-identical streams)"),
 		zipfS:   fs.Float64("zipf-s", 1.1, "spec popularity exponent (0 = uniform popularity)"),
 		vocab:   fs.Int("vocab", 64, "ranked spec vocabulary size"),
+		trials:  fs.Int("trials", 2, "Monte-Carlo trials per vocabulary spec (higher = heavier jobs)"),
 	}
 }
 
@@ -139,11 +141,14 @@ func (g genFlags) genSpec() (load.GenSpec, error) {
 	if *g.vocab < 1 {
 		return load.GenSpec{}, usagef("-vocab must be at least 1, got %d", *g.vocab)
 	}
+	if *g.trials < 1 {
+		return load.GenSpec{}, usagef("-trials must be at least 1, got %d", *g.trials)
+	}
 	return load.GenSpec{
 		Seed:    *g.seed,
 		Profile: p,
 		Process: *g.process,
-		Vocab:   load.DefaultVocab(*g.vocab),
+		Vocab:   load.TrialsVocab(*g.vocab, *g.trials),
 		ZipfS:   *g.zipfS,
 	}, nil
 }

@@ -51,6 +51,10 @@ type Spec struct {
 	Chooser TechniqueChooser
 	// Resilience tunes technique parameters.
 	Resilience resilience.Config
+	// Placement selects the node class hosting each started application
+	// when Machine is heterogeneous (see placement.go); ignored — and
+	// zero-cost — on homogeneous machines.
+	Placement PlacementPolicy
 	// Pattern is the submission workload.
 	Pattern workload.Pattern
 	// Seed drives every random choice in the run.
@@ -118,6 +122,10 @@ type AppResult struct {
 	// while running (more than App.Nodes for redundant techniques); set
 	// whether or not it ever started.
 	PhysNodes int
+	// Class names the node class that hosted the application on a
+	// heterogeneous machine; empty for homogeneous runs and for
+	// applications that never started.
+	Class string
 }
 
 // Waited reports how long the application queued before starting (or
@@ -219,16 +227,25 @@ func Run(spec Spec) (Metrics, error) {
 		byID[app.ID] = &backing[i]
 	}
 
+	classes, err := buildClasses(spec)
+	if err != nil {
+		return Metrics{}, err
+	}
+
 	c := &run{
 		spec:    spec,
 		mapper:  mapper,
 		chooser: chooser,
 		jobs:    jobs,
 		byID:    byID,
+		classes: classes,
 		free:    spec.Machine.Nodes,
 		sim:     des.NewPooled(),
 		m:       newClusterMetrics(spec.Obs),
 		rm:      resilience.NewMetrics(spec.Obs),
+	}
+	for _, cls := range classes {
+		c.m.observeClassFree(cls.class.Name, cls.free)
 	}
 	c.mapSrc.SetStream(spec.Seed, 1_000_000_007)
 	c.mapSrc.SetMirror(spec.Mirror)
@@ -242,7 +259,8 @@ type run struct {
 	mapper  sched.Mapper
 	chooser TechniqueChooser
 	jobs    []*job
-	byID    map[int]*job // stable app-ID index, built once per run
+	byID    map[int]*job  // stable app-ID index, built once per run
+	classes []*classState // per-class ledgers; nil for homogeneous machines
 	queue   []*job
 	free    int
 	sim     *des.Simulator
@@ -390,10 +408,11 @@ func (c *run) mapEvent() {
 				return
 			}
 		}
-		if ok, _ := j.exec.Viable(); !ok {
+		if ok, _ := j.exec.Viable(); !ok || !c.fitsAnyClass(j.phys) {
 			// The chosen technique can never execute this application
-			// (e.g. its replica set exceeds the machine): drop it now
-			// rather than let it sit in the queue forever.
+			// (e.g. its replica set exceeds the machine, or no node class
+			// is large enough for its footprint): drop it now rather than
+			// let it sit in the queue forever.
 			c.resolve(j, AppResult{
 				App: j.app, Technique: j.tech, PhysNodes: j.phys,
 				Outcome: OutcomeDroppedQueued, End: now,
@@ -456,9 +475,25 @@ func (c *run) mapEvent() {
 			c.sim.Stop()
 			return
 		}
+		var cls *classState
+		var clsExec resilience.Executor
+		if c.classes != nil {
+			cls, clsExec = c.placeClass(j)
+			if c.err != nil {
+				return
+			}
+			if cls == nil {
+				// Aggregate free capacity admitted the job but no single
+				// class currently has room for its footprint
+				// (fragmentation). Leave it queued — its startGen is not
+				// stamped, so it survives the queue filter below and the
+				// next departure's mapping event retries it.
+				continue
+			}
+		}
 		j.startGen = gen
 		changed++
-		c.start(j, now)
+		c.start(j, cls, clsExec, now)
 	}
 
 	if changed == 0 {
@@ -493,10 +528,32 @@ func (c *run) prepare(j *job) error {
 	return nil
 }
 
-// start places a job on the machine and simulates its execution.
-func (c *run) start(j *job, now units.Duration) {
+// fitsAnyClass reports whether some node class could ever host the given
+// footprint. Always true on homogeneous machines (the Viable check already
+// covers the whole-machine bound there).
+func (c *run) fitsAnyClass(phys int) bool {
+	if c.classes == nil {
+		return true
+	}
+	for _, cls := range c.classes {
+		if cls.class.Count >= phys {
+			return true
+		}
+	}
+	return false
+}
+
+// start places a job on the machine and simulates its execution. On a
+// heterogeneous machine cls is the hosting class and clsExec the executor
+// built against it (both nil for homogeneous runs, where j.exec runs on
+// the base machine).
+func (c *run) start(j *job, cls *classState, clsExec resilience.Executor, now units.Duration) {
 	c.noteUtilization()
 	c.free -= j.phys
+	if cls != nil {
+		cls.free -= j.phys
+		c.m.observeClassFree(cls.class.Name, cls.free)
+	}
 	if used := c.spec.Machine.Nodes - c.free; used > c.peak {
 		c.peak = used
 	}
@@ -516,6 +573,10 @@ func (c *run) start(j *job, now units.Duration) {
 			// (The same-instant alloc/free cancels in the utilization
 			// integral.)
 			c.free += j.phys
+			if cls != nil {
+				cls.free += j.phys
+				c.m.observeClassFree(cls.class.Name, cls.free)
+			}
 			j.started = false
 			c.resolve(j, AppResult{
 				App: j.app, Technique: j.tech, PhysNodes: j.phys,
@@ -529,9 +590,15 @@ func (c *run) start(j *job, now units.Duration) {
 	// The per-job stream is re-seeded into a run-owned scratch source:
 	// identical draws to rng.Stream(seed, ID+1), no allocation. Executors
 	// only read the source inside Run, so sequential jobs may share it.
+	exec := j.exec
+	class := ""
+	if clsExec != nil {
+		exec = clsExec
+		class = cls.class.Name
+	}
 	c.jobSrc.SetStream(c.spec.Seed, uint64(j.app.ID)+1)
 	c.jobSrc.SetMirror(c.spec.Mirror)
-	res := j.exec.Run(now, horizon, &c.jobSrc)
+	res := exec.Run(now, horizon, &c.jobSrc)
 	end := res.End
 	outcome := OutcomeCompleted
 	if !res.Completed {
@@ -546,9 +613,13 @@ func (c *run) start(j *job, now units.Duration) {
 	c.sim.Schedule(end, "departure", func(*des.Simulator) {
 		c.noteUtilization()
 		c.free += j.phys
+		if cls != nil {
+			cls.free += j.phys
+			c.m.observeClassFree(cls.class.Name, cls.free)
+		}
 		j.running = false
 		c.resolve(j, AppResult{
-			App: j.app, Technique: j.tech, PhysNodes: j.phys,
+			App: j.app, Technique: j.tech, PhysNodes: j.phys, Class: class,
 			Outcome: outcome, Started: true, Start: now, End: end,
 		})
 		c.triggerMapping()

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/failures"
+	"exaresil/internal/machine"
+	"exaresil/internal/resilience"
+	"exaresil/internal/units"
+	"exaresil/internal/workload"
+)
+
+// twoClassMachine is a small fleet whose first-declared class is fast but
+// fragile and whose second is slow but hardened — the ordering that makes
+// first-fit and reliability-aware placement disagree.
+func twoClassMachine() machine.Config {
+	c := machine.Exascale()
+	c.Name = "test-two-class"
+	c.Nodes = 100
+	c.Classes = []machine.NodeClass{
+		{Name: "fast", Count: 50, Speed: 1.25, MTBF: 1 * units.Year},
+		{Name: "hardened", Count: 50, Speed: 0.8, MTBF: 100 * units.Year},
+	}
+	return c
+}
+
+func heteroSpec(t *testing.T, cfg machine.Config, tech core.Technique, placement PlacementPolicy, apps []workload.App) Spec {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("test machine invalid: %v", err)
+	}
+	return Spec{
+		Machine:    cfg,
+		Model:      failures.MustModel(cfg.MTBF, failures.DefaultSeverityPMF()),
+		Scheduler:  core.FCFS,
+		Technique:  tech,
+		Resilience: resilience.DefaultConfig(),
+		Placement:  placement,
+		Pattern:    workload.Pattern{Apps: apps},
+		Seed:       7,
+	}
+}
+
+// TestPlacementIgnoredOnHomogeneous guards the golden exhibits: on a
+// machine without classes, the placement policy must not perturb the run
+// in any way.
+func TestPlacementIgnoredOnHomogeneous(t *testing.T) {
+	base := testSpec(t, core.SlackBased, core.MultilevelCheckpoint, 11)
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPolicy := base
+	withPolicy.Placement = PlaceReliability
+	again, err := Run(withPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, again) {
+		t.Error("placement policy changed a homogeneous run")
+	}
+}
+
+func TestInvalidPlacementRejected(t *testing.T) {
+	app := workload.App{ID: 1, Class: workload.A32, TimeSteps: 60, Nodes: 10}
+	spec := heteroSpec(t, twoClassMachine(), core.Ideal, PlacementPolicy(99), []workload.App{app})
+	if _, err := Run(spec); err == nil {
+		t.Error("invalid placement policy accepted on a heterogeneous machine")
+	}
+	// The same bogus policy is ignored on a homogeneous machine.
+	homo := testSpec(t, core.FCFS, core.Ideal, 3)
+	homo.Placement = PlacementPolicy(99)
+	if _, err := Run(homo); err != nil {
+		t.Errorf("placement policy should be inert on homogeneous machines: %v", err)
+	}
+}
+
+// TestReliabilityPlacement checks the policy's two preferences: a
+// checkpoint-heavy technique lands on the hardened class, a
+// replication-style one on the fast class, and first-fit takes declared
+// order regardless.
+func TestReliabilityPlacement(t *testing.T) {
+	cases := []struct {
+		name      string
+		tech      core.Technique
+		placement PlacementPolicy
+		wantClass string
+	}{
+		{"checkpoint-heavy prefers reliable", core.MultilevelCheckpoint, PlaceReliability, "hardened"},
+		{"plain checkpoint prefers reliable", core.CheckpointRestart, PlaceReliability, "hardened"},
+		{"replication prefers fast", core.LightweightReplication, PlaceReliability, "fast"},
+		{"first-fit takes declared order", core.MultilevelCheckpoint, PlaceFirstFit, "fast"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app := workload.App{ID: 1, Class: workload.A32, TimeSteps: 60, Nodes: 10}
+			spec := heteroSpec(t, twoClassMachine(), tc.tech, tc.placement, []workload.App{app})
+			m, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := m.Results[0]
+			if !r.Started {
+				t.Fatalf("app never started: %+v", r)
+			}
+			if r.Class != tc.wantClass {
+				t.Errorf("placed on %q, want %q", r.Class, tc.wantClass)
+			}
+		})
+	}
+}
+
+// TestHeteroFragmentation drives the case where aggregate free capacity
+// admits a job but no single class has room: the job must stay queued
+// (not fail the run) and start once a departure frees a class.
+func TestHeteroFragmentation(t *testing.T) {
+	cfg := machine.Exascale()
+	cfg.Name = "test-frag"
+	cfg.Nodes = 20
+	cfg.Classes = []machine.NodeClass{
+		{Name: "a", Count: 10, Speed: 1.0, MTBF: 10 * units.Year},
+		{Name: "b", Count: 10, Speed: 1.0, MTBF: 10 * units.Year},
+	}
+	apps := []workload.App{
+		// A and B each take 8 of a 10-node class (first-fit: A on "a",
+		// B on "b"), leaving 2+2 free. C needs 4: aggregate free is 4
+		// but no class can host it until A departs at t=60min.
+		{ID: 1, Class: workload.A32, TimeSteps: 60, Nodes: 8},
+		{ID: 2, Class: workload.A32, TimeSteps: 600, Nodes: 8},
+		{ID: 3, Class: workload.A32, TimeSteps: 10, Nodes: 4, Arrival: units.Minute},
+	}
+	spec := heteroSpec(t, cfg, core.Ideal, PlaceFirstFit, apps)
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 3 {
+		t.Fatalf("completed %d of 3: %+v", m.Completed, m.Results)
+	}
+	c := m.Results[2]
+	if c.App.ID != 3 {
+		t.Fatalf("results out of pattern order: %+v", m.Results)
+	}
+	if c.Start < 60*units.Minute {
+		t.Errorf("fragmented job started at %v, want deferred to A's departure at 60m", c.Start)
+	}
+	if c.Class != "a" {
+		t.Errorf("fragmented job placed on %q, want the freed class %q", c.Class, "a")
+	}
+}
+
+// TestHeteroNoClassEverFits drops a job whose footprint exceeds every
+// class even though the machine total would admit it.
+func TestHeteroNoClassEverFits(t *testing.T) {
+	cfg := machine.Exascale()
+	cfg.Name = "test-oversize"
+	cfg.Nodes = 20
+	cfg.Classes = []machine.NodeClass{
+		{Name: "a", Count: 10, Speed: 1.0, MTBF: 10 * units.Year},
+		{Name: "b", Count: 10, Speed: 1.0, MTBF: 10 * units.Year},
+	}
+	app := workload.App{ID: 1, Class: workload.A32, TimeSteps: 60, Nodes: 15}
+	spec := heteroSpec(t, cfg, core.Ideal, PlaceFirstFit, []workload.App{app})
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Results[0]
+	if r.Outcome != OutcomeDroppedQueued || r.Started {
+		t.Errorf("oversize job should be dropped queued, got %+v", r)
+	}
+}
+
+// TestHeteroSpeedScaling verifies the class speed multiplier reaches the
+// executor: under Ideal execution a job on a 1.25x class finishes in
+// 1/1.25 the steps.
+func TestHeteroSpeedScaling(t *testing.T) {
+	app := workload.App{ID: 1, Class: workload.A32, TimeSteps: 100, Nodes: 10}
+	spec := heteroSpec(t, twoClassMachine(), core.Ideal, PlaceFirstFit, []workload.App{app})
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Results[0]
+	if r.Class != "fast" {
+		t.Fatalf("placed on %q, want fast", r.Class)
+	}
+	// 100 steps / 1.25 = 80 minutes of ideal execution.
+	if got := r.End - r.Start; got != 80*units.Minute {
+		t.Errorf("fast-class ideal runtime = %v, want 80m", got)
+	}
+}
+
+// TestHeteroFullRunResolves runs a realistic heterogeneous study slice:
+// a generated fill-system pattern on the exascale hetero fleet, with
+// every application resolving and every started one carrying a class.
+func TestHeteroFullRunResolves(t *testing.T) {
+	spec := testSpec(t, core.SlackBased, core.MultilevelCheckpoint, 17)
+	spec.Machine = machine.ExascaleHetero()
+	spec.Placement = PlaceReliability
+	names := map[string]bool{}
+	for _, cl := range spec.Machine.Classes {
+		names[cl.Name] = true
+	}
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total != len(spec.Pattern.Apps) {
+		t.Fatalf("resolved %d of %d", m.Total, len(spec.Pattern.Apps))
+	}
+	started := 0
+	for _, r := range m.Results {
+		if r.Started {
+			started++
+			if !names[r.Class] {
+				t.Errorf("app %d started on unknown class %q", r.App.ID, r.Class)
+			}
+		} else if r.Class != "" {
+			t.Errorf("unstarted app %d carries class %q", r.App.ID, r.Class)
+		}
+	}
+	if started == 0 {
+		t.Error("no application ever started")
+	}
+}

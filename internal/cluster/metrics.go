@@ -26,6 +26,9 @@ type clusterMetrics struct {
 	utilization *obs.Histogram
 	// waits samples per-application queueing delay in simulated minutes.
 	waits *obs.Histogram
+	// reg backs the per-class free-node gauges of heterogeneous runs,
+	// which are labeled by class name and so registered lazily.
+	reg *obs.Registry
 }
 
 // newClusterMetrics registers the cluster series on r (nil r yields the
@@ -40,6 +43,7 @@ func newClusterMetrics(r *obs.Registry) *clusterMetrics {
 
 func newClusterMetricsLocked(r *obs.Registry) *clusterMetrics {
 	m := &clusterMetrics{
+		reg: r,
 		mapEvents: r.Counter("exaresil_cluster_mapper_invocations_total",
 			"resource-management mapping events"),
 		starts: r.Counter("exaresil_cluster_apps_started_total",
@@ -85,6 +89,16 @@ func (m *clusterMetrics) observeUtilization(fraction float64) {
 		return
 	}
 	m.utilization.Observe(fraction)
+}
+
+// observeClassFree samples one node class's free-node count on a
+// heterogeneous machine.
+func (m *clusterMetrics) observeClassFree(class string, free int) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge("exaresil_cluster_class_free_nodes",
+		"free nodes per machine class", obs.L("class", class)).Set(int64(free))
 }
 
 // observeResolve records one application's fate.

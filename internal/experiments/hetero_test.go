@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"exaresil/internal/core"
+	"exaresil/internal/machine"
+)
+
+func TestHeteroStudy(t *testing.T) {
+	tb, res, err := HeteroSpec{Config: fastConfig(), Patterns: 2, Arrivals: 30}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("hetero table has %d rows, want 3 arms", tb.Rows())
+	}
+	for _, arm := range []string{"homogeneous", "hetero/first-fit", "hetero/reliability"} {
+		if !strings.Contains(tb.String(), arm) {
+			t.Errorf("table missing arm %q", arm)
+		}
+		for _, tech := range []core.Technique{core.MultilevelCheckpoint, core.LightweightReplication} {
+			if _, ok := res.Cell(arm, tech); !ok {
+				t.Errorf("result missing cell %s/%v", arm, tech)
+			}
+		}
+	}
+}
+
+func TestHeteroStudyRejectsMismatchedFleet(t *testing.T) {
+	fleet := machine.ExascaleHetero()
+	fleet.Nodes = 60000
+	fleet.Classes = fleet.Classes[:1]
+	fleet.Classes[0].Count = 60000
+	if _, _, err := (HeteroSpec{Config: fastConfig(), Fleet: fleet, Patterns: 1, Arrivals: 10}).Run(); err == nil {
+		t.Error("fleet with mismatched node count accepted")
+	}
+}

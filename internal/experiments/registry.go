@@ -149,6 +149,11 @@ var registry = []Exhibit{
 			t, res, err := WhatIfSpec{Config: cfg}.Run()
 			return t, res, err
 		}},
+	{Name: "ext-hetero", Group: "ext", Chart: ChartNone,
+		Run: func(cfg Config, p Params) (*report.Table, any, error) {
+			t, res, err := HeteroSpec{Config: cfg, Patterns: p.Patterns, Arrivals: p.Arrivals}.Run()
+			return t, res, err
+		}},
 	{Name: "ext-menu2", Group: "ext", Chart: ChartNone,
 		Run: func(cfg Config, p Params) (*report.Table, any, error) {
 			t, res, err := Menu2Spec{Config: cfg, PairedTrials: p.Trials / 2}.Run()

@@ -59,7 +59,7 @@ func TestExpandNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ext) != 11 || ext[0] != "ext-energy" || ext[len(ext)-1] != "policy" {
+	if len(ext) != 12 || ext[0] != "ext-energy" || ext[len(ext)-1] != "policy" {
 		t.Fatalf("ext-all expanded to %v", ext)
 	}
 

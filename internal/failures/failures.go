@@ -161,6 +161,14 @@ func MustModel(mtbf units.Duration, pmf SeverityPMF) *Model {
 // MTBF reports the per-node mean time between failures M_n.
 func (m *Model) MTBF() units.Duration { return m.mtbf }
 
+// WithMTBF derives a model with a different per-node MTBF and the same
+// severity distribution and inter-arrival shape. Heterogeneous fleets
+// use it to give each node class its own reliability while sharing the
+// study's severity assumptions (machine.NodeClass.MTBF feeds this).
+func (m *Model) WithMTBF(mtbf units.Duration) (*Model, error) {
+	return NewWeibullModel(mtbf, m.pmf, m.shape)
+}
+
 // PMF reports the severity distribution.
 func (m *Model) PMF() SeverityPMF { return m.pmf }
 

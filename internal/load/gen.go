@@ -189,9 +189,17 @@ func (p *Popularity) Rank(u float64) int {
 // per-rank seeds give each rank its own cache key. Load tools use it when
 // the caller does not hand-pick specs.
 func DefaultVocab(k int) []serve.Spec {
+	return TrialsVocab(k, 2)
+}
+
+// TrialsVocab is DefaultVocab with an explicit trial count per spec:
+// heavier trials make each job proportionally more expensive, which load
+// soaks use to build queue pressure at modest request rates. TrialsVocab(k, 2)
+// is exactly DefaultVocab(k), so the pinned golden sweep is unaffected.
+func TrialsVocab(k, trials int) []serve.Spec {
 	out := make([]serve.Spec, k)
 	for i := range out {
-		out[i] = serve.Spec{Exhibit: "fig1", Trials: 2, Seed: uint64(i + 1)}
+		out[i] = serve.Spec{Exhibit: "fig1", Trials: trials, Seed: uint64(i + 1)}
 	}
 	return out
 }

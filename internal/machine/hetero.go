@@ -1,0 +1,130 @@
+// Heterogeneous fleets: a machine may partition its nodes into classes
+// that differ in speed, memory, and reliability while sharing the base
+// interconnect. This is the "hardware heterogeneity / design diversity"
+// structural pattern of the HPC resilience pattern language
+// (arXiv:1710.09074): a fleet that mixes hardened, standard, and
+// fast-but-fragile nodes gives the scheduler a reliability dimension to
+// place against, not just capacity.
+//
+// The modeling contract keeps every class internally homogeneous: a
+// class is a smaller machine (ClassView) with its own MTBF, so the
+// paper's per-technique cost models and the failure-process thinning
+// argument apply unchanged within a class. Speed is a throughput
+// multiplier the cluster simulator applies to the application (fewer
+// time steps on a faster class), keeping all bookkeeping in wall time.
+
+package machine
+
+import (
+	"fmt"
+
+	"exaresil/internal/units"
+)
+
+// NodeClass describes one homogeneous slice of a heterogeneous fleet.
+type NodeClass struct {
+	// Name identifies the class in reports and metrics.
+	Name string
+	// Count is the number of nodes in the class; class counts must sum
+	// to the machine's Nodes.
+	Count int
+	// Speed is the class's throughput multiplier relative to the base
+	// Node (1.0 = base speed; 1.25 finishes the same application 25%
+	// sooner).
+	Speed float64
+	// MTBF is the per-node mean time between failures for this class.
+	MTBF units.Duration
+	// Memory overrides the base node's RAM capacity when non-zero.
+	Memory units.DataSize
+}
+
+// Heterogeneous reports whether the machine declares node classes.
+func (c Config) Heterogeneous() bool { return len(c.Classes) > 0 }
+
+// validateClasses checks the class partition (no-op for homogeneous
+// machines, so every pre-existing configuration validates unchanged).
+func (c Config) validateClasses() error {
+	if len(c.Classes) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(c.Classes))
+	total := 0
+	for i, cl := range c.Classes {
+		if cl.Name == "" {
+			return fmt.Errorf("machine: class %d has no name", i)
+		}
+		if seen[cl.Name] {
+			return fmt.Errorf("machine: duplicate class name %q", cl.Name)
+		}
+		seen[cl.Name] = true
+		if cl.Count <= 0 {
+			return fmt.Errorf("machine: class %q count %d must be positive", cl.Name, cl.Count)
+		}
+		if cl.Speed <= 0 {
+			return fmt.Errorf("machine: class %q speed %v must be positive", cl.Name, cl.Speed)
+		}
+		if cl.MTBF <= 0 {
+			return fmt.Errorf("machine: class %q MTBF %v must be positive", cl.Name, cl.MTBF)
+		}
+		if cl.Memory < 0 {
+			return fmt.Errorf("machine: class %q memory %v must not be negative", cl.Name, cl.Memory)
+		}
+		total += cl.Count
+	}
+	if total != c.Nodes {
+		return fmt.Errorf("machine: class counts sum to %d, want the %d machine nodes", total, c.Nodes)
+	}
+	return nil
+}
+
+// ClassView projects class i as a homogeneous machine: the class's node
+// count, MTBF, and memory over the base node and network. The paper's
+// cost models (and the resilience executors built on them) consume this
+// view, so within a class everything behaves exactly like a smaller
+// homogeneous system.
+func (c Config) ClassView(i int) Config {
+	cl := c.Classes[i]
+	v := c
+	v.Name = c.Name + "/" + cl.Name
+	v.Nodes = cl.Count
+	v.MTBF = cl.MTBF
+	v.Classes = nil
+	if cl.Memory > 0 {
+		v.Node.Memory = cl.Memory
+	}
+	return v
+}
+
+// FleetFailureRate reports the aggregate failure rate of the whole fleet
+// with every node active: the sum of per-class N_i / M_i terms (Eq. 2
+// applied classwise). For homogeneous machines it equals
+// SystemFailureRate(Nodes).
+func (c Config) FleetFailureRate() units.Rate {
+	if !c.Heterogeneous() {
+		return c.SystemFailureRate(c.Nodes)
+	}
+	total := 0.0
+	for _, cl := range c.Classes {
+		total += float64(cl.Count) / float64(cl.MTBF)
+	}
+	return units.Rate(total)
+}
+
+// ExascaleHetero returns the heterogeneous variant of the projected
+// exascale machine: the same 120,000-node fleet and network, split into
+// a standard partition, a fast-but-fragile partition (higher-clocked
+// parts fail more often), and a hardened partition (slower, heavily
+// derated nodes with an order-of-magnitude better MTBF). The aggregate
+// capacity matches Exascale(), so workloads generated for one fill the
+// other identically and any outcome difference is attributable to
+// heterogeneity and placement, not machine size.
+func ExascaleHetero() Config {
+	c := Exascale()
+	c.Name = "exascale-120k-hetero"
+	c.Classes = []NodeClass{
+		{Name: "std", Count: 84000, Speed: 1.0, MTBF: 10 * units.Year},
+		{Name: "fast", Count: 24000, Speed: 1.25, MTBF: 5 * units.Year},
+		{Name: "hardened", Count: 12000, Speed: 0.8, MTBF: 25 * units.Year},
+	}
+	return c
+}

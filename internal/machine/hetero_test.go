@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exaresil/internal/units"
+)
+
+func heteroConfig() Config {
+	c := Exascale()
+	c.Classes = []NodeClass{
+		{Name: "std", Count: 100000, Speed: 1.0, MTBF: 10 * units.Year},
+		{Name: "fast", Count: 20000, Speed: 1.25, MTBF: 5 * units.Year, Memory: 256 * units.Gigabyte},
+	}
+	return c
+}
+
+func TestHeterogeneous(t *testing.T) {
+	if Exascale().Heterogeneous() {
+		t.Error("Exascale should be homogeneous")
+	}
+	if !heteroConfig().Heterogeneous() {
+		t.Error("config with classes should be heterogeneous")
+	}
+}
+
+func TestValidateClasses(t *testing.T) {
+	if err := heteroConfig().Validate(); err != nil {
+		t.Fatalf("valid hetero config rejected: %v", err)
+	}
+	mutations := map[string]func(*Config){
+		"no name":        func(c *Config) { c.Classes[0].Name = "" },
+		"duplicate name": func(c *Config) { c.Classes[1].Name = c.Classes[0].Name },
+		"zero count":     func(c *Config) { c.Classes[0].Count = 0 },
+		"zero speed":     func(c *Config) { c.Classes[0].Speed = 0 },
+		"zero mtbf":      func(c *Config) { c.Classes[0].MTBF = 0 },
+		"negative mem":   func(c *Config) { c.Classes[0].Memory = -1 },
+		"bad sum":        func(c *Config) { c.Classes[0].Count++ },
+	}
+	for name, mutate := range mutations {
+		c := heteroConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestClassView(t *testing.T) {
+	c := heteroConfig()
+	v := c.ClassView(1)
+	if v.Heterogeneous() {
+		t.Error("class view must be homogeneous")
+	}
+	if v.Nodes != 20000 {
+		t.Errorf("view nodes = %d, want 20000", v.Nodes)
+	}
+	if v.MTBF != 5*units.Year {
+		t.Errorf("view MTBF = %v, want 5y", v.MTBF)
+	}
+	if v.Node.Memory != 256*units.Gigabyte {
+		t.Errorf("view memory = %v, want class override 256GB", v.Node.Memory)
+	}
+	if !strings.Contains(v.Name, "fast") {
+		t.Errorf("view name %q should carry the class name", v.Name)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("class view invalid: %v", err)
+	}
+	// Without a memory override the base node's RAM carries over.
+	if got := c.ClassView(0).Node.Memory; got != c.Node.Memory {
+		t.Errorf("class without override got memory %v, want base %v", got, c.Node.Memory)
+	}
+}
+
+func TestFleetFailureRate(t *testing.T) {
+	homo := Exascale()
+	if got, want := homo.FleetFailureRate(), homo.SystemFailureRate(homo.Nodes); got != want {
+		t.Errorf("homogeneous fleet rate %v != system rate %v", got, want)
+	}
+	c := heteroConfig()
+	want := 100000.0/float64(10*units.Year) + 20000.0/float64(5*units.Year)
+	if got := float64(c.FleetFailureRate()); math.Abs(got-want) > want*1e-12 {
+		t.Errorf("fleet rate = %v, want %v", got, want)
+	}
+	// The fast partition drags the fleet below the uniform-10y baseline.
+	if float64(c.FleetFailureRate()) <= float64(homo.SystemFailureRate(homo.Nodes)) {
+		t.Error("hetero fleet with a fragile class should fail more often than the uniform fleet")
+	}
+}
+
+func TestExascaleHetero(t *testing.T) {
+	c := ExascaleHetero()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("ExascaleHetero invalid: %v", err)
+	}
+	base := Exascale()
+	if c.Nodes != base.Nodes {
+		t.Errorf("nodes = %d, want the homogeneous %d so workloads transfer", c.Nodes, base.Nodes)
+	}
+	total := 0
+	for _, cl := range c.Classes {
+		total += cl.Count
+	}
+	if total != c.Nodes {
+		t.Errorf("class counts sum to %d, want %d", total, c.Nodes)
+	}
+	if c.Name == base.Name {
+		t.Error("hetero variant should be distinguishable by name")
+	}
+}

@@ -57,6 +57,12 @@ type Config struct {
 	Network Network
 	// MTBF is M_n, the mean time between failures of a single node.
 	MTBF units.Duration
+	// Classes, when non-empty, partitions the fleet into heterogeneous
+	// node classes (speed, memory, and per-class reliability overlaying
+	// the base Node); their counts must sum to Nodes. Empty means the
+	// homogeneous machine the paper models — every existing study sees
+	// exactly the machine it always did. See hetero.go.
+	Classes []NodeClass
 }
 
 // Exascale returns the paper's projected exascale machine: 120,000 nodes of
@@ -143,6 +149,9 @@ func (c Config) Validate() error {
 	}
 	if c.MTBF <= 0 {
 		errs = append(errs, fmt.Errorf("machine: MTBF %v must be positive", c.MTBF))
+	}
+	if err := c.validateClasses(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }

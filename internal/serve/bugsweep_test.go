@@ -45,7 +45,7 @@ func TestDeadFlightReplacedOnAcquire(t *testing.T) {
 	c := newCache(8, NewMetrics(nil))
 	spec := Spec{Exhibit: "fig1", Trials: 3}
 
-	_, fl1, created, err := c.acquire(spec, 1, admitAll)
+	_, fl1, created, err := c.acquire(spec, admitAll)
 	if err != nil || !created {
 		t.Fatalf("first acquire: created=%v err=%v", created, err)
 	}
@@ -60,7 +60,7 @@ func TestDeadFlightReplacedOnAcquire(t *testing.T) {
 		t.Fatalf("attach to aborted queued flight = %v, want attachDead", got)
 	}
 	// …and acquire must evict the corpse and lead a fresh flight.
-	_, fl2, created2, err := c.acquire(spec, 1, admitAll)
+	_, fl2, created2, err := c.acquire(spec, admitAll)
 	if err != nil || !created2 {
 		t.Fatalf("acquire over dead flight: created=%v err=%v, want fresh flight", created2, err)
 	}
@@ -76,7 +76,7 @@ func TestDeadFlightReplacedOnAcquire(t *testing.T) {
 
 	// A killed *running* flight is not dead — its worker's ctx.Done path
 	// will settle it, so joining stays legal until then.
-	_, flRun, _, _ := c.acquire(Spec{Exhibit: "fig2"}, 1, admitAll)
+	_, flRun, _, _ := c.acquire(Spec{Exhibit: "fig2"}, admitAll)
 	flRun.attach(&Job{state: StateQueued}, now)
 	flRun.begin(func(error) {}, now)
 	if !flRun.kill() {

@@ -11,9 +11,10 @@ import (
 // identical spec while it was queued or running (single-flight). The
 // flight — not the job — is what the worker pool schedules.
 type flight struct {
-	key   string
-	spec  Spec
-	shard int
+	key     string
+	spec    Spec
+	shard   int       // queue index stamped by Pool.submit
+	created time.Time // admission instant, for the autoscaler's wait signal
 
 	mu       sync.Mutex
 	jobs     []*Job // every job attached to this execution
@@ -206,9 +207,10 @@ func newCache(cap int, m *Metrics) *Cache {
 // acquire resolves a spec to a cached result, an existing flight to join,
 // or a freshly created flight this caller leads. Creation and admission
 // are atomic: admit runs under the cache lock (it must not block — the
-// pool's submit is a non-blocking channel send) and a rejected flight is
-// never inserted, so no other submitter can have joined it.
-func (c *Cache) acquire(spec Spec, shards int, admit func(*flight) error) (res *Result, fl *flight, created bool, err error) {
+// pool's submit rejects rather than waits) and a rejected flight is
+// never inserted, so no other submitter can have joined it. The admit
+// callback routes the flight to a shard of the pool's current width.
+func (c *Cache) acquire(spec Spec, admit func(*flight) error) (res *Result, fl *flight, created bool, err error) {
 	key := spec.Key()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -235,7 +237,7 @@ func (c *Cache) acquire(spec Spec, shards int, admit func(*flight) error) (res *
 		}
 	}
 	c.m.CacheMisses.Inc()
-	fl = &flight{key: key, spec: spec, shard: shardOf(key, shards)}
+	fl = &flight{key: key, spec: spec, created: time.Now()}
 	if err := admit(fl); err != nil {
 		return nil, nil, false, err
 	}

@@ -16,11 +16,11 @@ func TestCacheSingleFlightAdmission(t *testing.T) {
 	c := newCache(8, m)
 	spec := Spec{Exhibit: "fig1", Trials: 2}
 
-	res, fl, created, err := c.acquire(spec, 4, admitAll)
+	res, fl, created, err := c.acquire(spec, admitAll)
 	if err != nil || res != nil || fl == nil || !created {
 		t.Fatalf("first acquire: res=%v fl=%v created=%v err=%v, want fresh flight", res, fl, created, err)
 	}
-	res2, fl2, created2, err := c.acquire(spec, 4, admitAll)
+	res2, fl2, created2, err := c.acquire(spec, admitAll)
 	if err != nil || res2 != nil || created2 {
 		t.Fatalf("second acquire: res=%v created=%v err=%v, want join", res2, created2, err)
 	}
@@ -30,7 +30,7 @@ func TestCacheSingleFlightAdmission(t *testing.T) {
 
 	want := &Result{Digest: "d"}
 	c.complete(fl, want)
-	res3, fl3, created3, err := c.acquire(spec, 4, admitAll)
+	res3, fl3, created3, err := c.acquire(spec, admitAll)
 	if err != nil || created3 || fl3 != nil {
 		t.Fatalf("post-complete acquire: fl=%v created=%v err=%v, want hit", fl3, created3, err)
 	}
@@ -46,13 +46,13 @@ func TestCacheRejectedFlightNotInserted(t *testing.T) {
 	c := newCache(8, NewMetrics(nil))
 	spec := Spec{Exhibit: "fig1"}
 	reject := func(*flight) error { return ErrSaturated }
-	if _, _, _, err := c.acquire(spec, 1, reject); !errors.Is(err, ErrSaturated) {
+	if _, _, _, err := c.acquire(spec, reject); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("rejected acquire: err=%v, want ErrSaturated", err)
 	}
 	if c.size() != 0 {
 		t.Fatalf("rejected flight was inserted: cache size %d", c.size())
 	}
-	_, fl, created, err := c.acquire(spec, 1, admitAll)
+	_, fl, created, err := c.acquire(spec, admitAll)
 	if err != nil || fl == nil || !created {
 		t.Fatalf("retry after rejection: fl=%v created=%v err=%v, want fresh flight", fl, created, err)
 	}
@@ -63,18 +63,18 @@ func TestCacheRejectedFlightNotInserted(t *testing.T) {
 func TestCacheForgetOnlyOwner(t *testing.T) {
 	c := newCache(8, NewMetrics(nil))
 	spec := Spec{Exhibit: "fig1"}
-	_, fl1, _, _ := c.acquire(spec, 1, admitAll)
+	_, fl1, _, _ := c.acquire(spec, admitAll)
 	c.forget(fl1)
 	if c.size() != 0 {
 		t.Fatalf("forget left size %d, want 0", c.size())
 	}
-	_, fl2, _, _ := c.acquire(spec, 1, admitAll)
+	_, fl2, _, _ := c.acquire(spec, admitAll)
 	c.forget(fl1) // stale forget must not evict fl2's entry
 	if c.size() != 1 {
 		t.Fatalf("stale forget removed the new owner: size %d, want 1", c.size())
 	}
 	c.complete(fl2, &Result{})
-	if res, _, _, _ := c.acquire(spec, 1, admitAll); res == nil {
+	if res, _, _, _ := c.acquire(spec, admitAll); res == nil {
 		t.Fatal("completed result missing after stale forget")
 	}
 }
@@ -88,10 +88,10 @@ func TestCacheEvictionSkipsInflight(t *testing.T) {
 	sFin2 := Spec{Exhibit: "fig2"}
 	sLive := Spec{Exhibit: "fig3"}
 
-	_, fl1, _, _ := c.acquire(sFin1, 1, admitAll)
+	_, fl1, _, _ := c.acquire(sFin1, admitAll)
 	c.complete(fl1, &Result{Digest: "1"})
-	_, flLive, _, _ := c.acquire(sLive, 1, admitAll)
-	_, fl2, _, _ := c.acquire(sFin2, 1, admitAll)
+	_, flLive, _, _ := c.acquire(sLive, admitAll)
+	_, fl2, _, _ := c.acquire(sFin2, admitAll)
 	c.complete(fl2, &Result{Digest: "2"})
 
 	// Capacity 2, three entries: the LRU finished entry (fig1) goes, the
@@ -99,10 +99,10 @@ func TestCacheEvictionSkipsInflight(t *testing.T) {
 	if c.size() != 2 {
 		t.Fatalf("cache size %d, want 2", c.size())
 	}
-	if res, _, _, _ := c.acquire(sFin1, 1, func(*flight) error { return ErrSaturated }); res != nil {
+	if res, _, _, _ := c.acquire(sFin1, func(*flight) error { return ErrSaturated }); res != nil {
 		t.Fatal("LRU finished entry fig1 survived eviction")
 	}
-	if _, fl, _, _ := c.acquire(sLive, 1, admitAll); fl != flLive {
+	if _, fl, _, _ := c.acquire(sLive, admitAll); fl != flLive {
 		t.Fatal("in-flight entry was evicted")
 	}
 }

@@ -22,7 +22,14 @@ type Config struct {
 	// service's parallelism control.
 	Experiments experiments.Config
 	// Workers is the worker-pool width (default 1 — one shard per worker).
+	// With Autoscale set it is only the initial width, clamped into
+	// [Min, Max].
 	Workers int
+	// Autoscale, when non-nil, makes the pool elastic: a background
+	// evaluator grows and shrinks the width between Autoscale.Min and
+	// Autoscale.Max from queue-depth and admission-latency signals (see
+	// autoscale.go and DESIGN.md §15). Nil keeps today's fixed pool.
+	Autoscale *AutoscaleConfig
 	// QueueDepth is the total queued-flight bound across shards (default
 	// 2x workers). A full shard rejects with 429.
 	QueueDepth int
@@ -72,9 +79,11 @@ type Server struct {
 	pool     *Pool
 	snaps    *snapStore
 	mux      *http.ServeMux
+	scaler   *autoscaler // nil unless cfg.Autoscale is set
 	draining atomic.Bool
 	inflight atomic.Int64  // flights currently executing on a worker
 	ewmaBits atomic.Uint64 // EWMA of execution seconds, for Retry-After
+	waitBits atomic.Uint64 // EWMA of queue-wait seconds, for the autoscaler
 }
 
 // New validates the configuration, starts the worker pool, and returns a
@@ -100,6 +109,19 @@ func New(cfg Config) (*Server, error) {
 			return runSpec(ecfg, s)
 		}
 	}
+	if cfg.Autoscale != nil {
+		ac := cfg.Autoscale.withDefaults()
+		if err := ac.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Autoscale = &ac
+		cfg.Workers = ac.clampWidth(cfg.Workers)
+		if cfg.QueueDepth <= 0 {
+			// Size the per-shard depth for the widest pool the autoscaler
+			// may reach, so elasticity adds queue room, not just workers.
+			cfg.QueueDepth = 2 * ac.Max
+		}
+	}
 	s := &Server{cfg: cfg, m: NewMetrics(cfg.Obs)}
 	s.store = newStore(cfg.StoreSize, cfg.JobIDPrefix, s.m)
 	s.cache = newCache(cfg.CacheSize, s.m)
@@ -109,6 +131,11 @@ func New(cfg Config) (*Server, error) {
 		s.m.QueueDepth(shard).Set(0) // register the series before traffic
 	}
 	s.pool.start()
+	if cfg.Autoscale != nil {
+		s.m.AutoscaleWorkers.Set(int64(s.pool.workers()))
+		s.scaler = newAutoscaler(s, *cfg.Autoscale)
+		go s.scaler.run()
+	}
 	s.routes()
 	return s, nil
 }
@@ -121,6 +148,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // expires.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.scaler != nil {
+		s.scaler.halt()
+	}
 	return s.pool.drain(ctx)
 }
 
@@ -156,7 +186,7 @@ func (s *Server) Submit(spec Spec) (JobView, error) {
 	// suffices unless cancels keep winning the race.
 	for attempt := 0; ; attempt++ {
 		now := time.Now()
-		res, fl, created, err := s.cache.acquire(spec, s.pool.workers(), s.pool.submit)
+		res, fl, created, err := s.cache.acquire(spec, s.pool.submit)
 		if err != nil {
 			return JobView{}, err
 		}
@@ -292,6 +322,9 @@ func (s *Server) ImportSnapshot(key string, cells map[int][]float64) int {
 // hides).
 func (s *Server) Kill() {
 	s.draining.Store(true)
+	if s.scaler != nil {
+		s.scaler.halt()
+	}
 	now := time.Now()
 	for _, fl := range s.cache.liveFlights() {
 		if fl.kill() {
@@ -490,6 +523,11 @@ type HealthView struct {
 	Jobs          int    `json:"jobs"`
 	CacheEntries  int    `json:"cache_entries"`
 	Snapshots     int    `json:"snapshots"`
+	// Autoscale bounds, present only when the pool is elastic; Workers is
+	// then the current width between them.
+	Autoscale  bool `json:"autoscale,omitempty"`
+	MinWorkers int  `json:"min_workers,omitempty"`
+	MaxWorkers int  `json:"max_workers,omitempty"`
 }
 
 // Health reports liveness and the coarse pressure numbers a load
@@ -499,7 +537,7 @@ func (s *Server) Health() HealthView {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	return HealthView{
+	h := HealthView{
 		Status:        status,
 		Workers:       s.pool.workers(),
 		QueueCapacity: s.pool.queueCapacity(),
@@ -508,6 +546,12 @@ func (s *Server) Health() HealthView {
 		CacheEntries:  s.cache.size(),
 		Snapshots:     s.snaps.size(),
 	}
+	if s.cfg.Autoscale != nil {
+		h.Autoscale = true
+		h.MinWorkers = s.cfg.Autoscale.Min
+		h.MaxWorkers = s.cfg.Autoscale.Max
+	}
+	return h
 }
 
 // handleHealth renders Health.
@@ -543,6 +587,9 @@ func (s *Server) execFlight(fl *flight) {
 	}
 	if !fl.begin(cancelCause, now) {
 		return // every subscriber canceled while queued; already forgotten
+	}
+	if !fl.created.IsZero() {
+		s.noteQueueWait(now.Sub(fl.created).Seconds())
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -633,15 +680,42 @@ func (s *Server) execFlight(fl *flight) {
 // noteJobSeconds folds one execution time into the EWMA behind
 // Retry-After.
 func (s *Server) noteJobSeconds(secs float64) {
+	noteEwma(&s.ewmaBits, secs)
+}
+
+// noteQueueWait folds one admission-to-execution wait into the EWMA the
+// autoscaler reads as its latency signal. The autoscaler also folds in
+// zero samples on empty-queue ticks so the signal decays when no flight
+// is waiting.
+func (s *Server) noteQueueWait(secs float64) {
+	noteEwma(&s.waitBits, secs)
+}
+
+// queueWaitSeconds reads the queue-wait EWMA (0 before any sample).
+func (s *Server) queueWaitSeconds() float64 {
+	bits := s.waitBits.Load()
+	if bits == 0 {
+		return 0
+	}
+	v := math.Float64frombits(bits)
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// noteEwma folds one sample into a float64 EWMA stored in an atomic word
+// (alpha 0.2; the first sample seeds the average).
+func noteEwma(bits *atomic.Uint64, sample float64) {
 	const alpha = 0.2
 	for {
-		old := s.ewmaBits.Load()
+		old := bits.Load()
 		prev := math.Float64frombits(old)
-		next := secs
+		next := sample
 		if old != 0 {
-			next = (1-alpha)*prev + alpha*secs
+			next = (1-alpha)*prev + alpha*sample
 		}
-		if s.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+		if bits.CompareAndSwap(old, math.Float64bits(next)) {
 			return
 		}
 	}
@@ -652,7 +726,9 @@ func (s *Server) noteJobSeconds(secs float64) {
 // execution time, clamped to [1, 120] seconds. Before the EWMA has any
 // samples (cold start — nothing has finished yet) the estimate is
 // explicitly floored at 1s: a 429 storm on a freshly booted server must
-// never tell every client "retry now".
+// never tell every client "retry now". Under autoscaling the divisor is
+// the pool's *active* width — a mid-shrink pool no longer admits to the
+// retiring shard, so crediting it would underestimate the wait.
 func (s *Server) RetryAfterSeconds() int {
 	bits := s.ewmaBits.Load()
 	if bits == 0 {

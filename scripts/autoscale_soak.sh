@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# autoscale_soak.sh — elasticity proof for the exaserve autoscaler.
+#
+# Boots exaserve with an elastic 1..6-worker pool and drives it with an
+# exaload diurnal profile (quiet -> peak -> quiet) of deliberately heavy
+# jobs (-trials makes each vocabulary spec expensive, -zipf-s 0 with a
+# large vocabulary keeps requests cache-cold). The pool must track the
+# load: scale up during the peak, scale back down to the floor after it,
+# and lose zero jobs to shrinking along the way.
+#
+# Asserted from /metrics:
+#   - at least one up and one down decision
+#     (exaresil_serve_autoscale_decisions_total)
+#   - the worker gauge exceeds the floor at some point during the peak
+#   - the pool is back at the floor by the end of the cool-off
+#   - exaresil_serve_jobs_total{state="failed"} stays 0
+#
+# Tunables (environment):
+#   SOAK_PEAK    peak arrival rate in req/s       (default 30)
+#   SOAK_TRIALS  Monte-Carlo trials per job       (default 60)
+#
+# Usage: scripts/autoscale_soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_PEAK="${SOAK_PEAK:-30}"
+SOAK_TRIALS="${SOAK_TRIALS:-60}"
+
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:${PORT}"
+LOG=$(mktemp)
+SERVE_BIN=$(mktemp -u)
+LOAD_BIN=$(mktemp -u)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$LOG" "$SERVE_BIN" "$LOAD_BIN"
+}
+trap cleanup EXIT
+
+metric() { # metric <regex> -> last numeric field of the first matching line, 0 if absent
+  curl -fsS "http://${ADDR}/metrics" | awk "/$1/ {v=\$NF} END {print v+0}"
+}
+
+echo "== building exaserve and exaload"
+go build -o "$SERVE_BIN" ./cmd/exaserve
+go build -o "$LOAD_BIN" ./cmd/exaload
+
+echo "== booting elastic exaserve on ${ADDR} (1..6 workers)"
+"$SERVE_BIN" -addr "$ADDR" -workers 1 \
+  -autoscale -min-workers 1 -max-workers 6 \
+  -autoscale-interval 250ms -autoscale-cooldown 500ms \
+  -cache 8192 -store 8192 >"$LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "http://${ADDR}/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during boot:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "http://${ADDR}/healthz" | grep -q '"autoscale": *true' \
+  || { echo "health endpoint does not advertise the autoscaler"; exit 1; }
+
+START_WORKERS=$(metric 'exaresil_serve_autoscale_workers')
+[ "$START_WORKERS" -eq 1 ] || { echo "pool starts at ${START_WORKERS} workers, want the floor (1)"; exit 1; }
+
+echo "== driving a diurnal day: quiet -> ${SOAK_PEAK}/s peak -> quiet"
+"$LOAD_BIN" run -addr "http://${ADDR}" \
+  -profile "diurnal:base=2,peak=${SOAK_PEAK},period=20,dur=20" \
+  -trials "$SOAK_TRIALS" -vocab 4096 -zipf-s 0 -seed 11 &
+LOAD_PID=$!
+
+PEAK_WORKERS=1
+while kill -0 "$LOAD_PID" 2>/dev/null; do
+  W=$(metric 'exaresil_serve_autoscale_workers')
+  [ "$W" -gt "$PEAK_WORKERS" ] && PEAK_WORKERS=$W
+  sleep 0.25
+done
+wait "$LOAD_PID"
+
+echo "== cooling off until the pool returns to the floor"
+FINAL_WORKERS=$PEAK_WORKERS
+for _ in $(seq 1 120); do
+  FINAL_WORKERS=$(metric 'exaresil_serve_autoscale_workers')
+  [ "$FINAL_WORKERS" -eq 1 ] && break
+  sleep 0.25
+done
+
+UPS=$(metric 'exaresil_serve_autoscale_decisions_total\{direction="up"\}')
+DOWNS=$(metric 'exaresil_serve_autoscale_decisions_total\{direction="down"\}')
+FAILED=$(metric 'exaresil_serve_jobs_total\{state="failed"\}')
+DONE=$(metric 'exaresil_serve_jobs_total\{state="done"\}')
+echo "   peak workers ${PEAK_WORKERS}, final ${FINAL_WORKERS}; ${UPS} up / ${DOWNS} down decisions; ${DONE} done, ${FAILED} failed"
+
+[ "$PEAK_WORKERS" -gt 1 ] || { echo "pool never grew past the floor under peak load"; cat "$LOG"; exit 1; }
+[ "$UPS" -ge 1 ] || { echo "no scale-up decisions recorded"; exit 1; }
+[ "$DOWNS" -ge 1 ] || { echo "no scale-down decisions recorded"; exit 1; }
+[ "$FINAL_WORKERS" -eq 1 ] || { echo "pool stuck at ${FINAL_WORKERS} workers after the load ended"; exit 1; }
+[ "$FAILED" -eq 0 ] || { echo "${FAILED} jobs failed — shrink must never kill work"; exit 1; }
+[ "$DONE" -ge 1 ] || { echo "no jobs completed at all"; exit 1; }
+
+echo "== clean shutdown"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && { echo "server ignored SIGTERM"; exit 1; }
+SERVER_PID=""
+
+echo "autoscale soak passed"

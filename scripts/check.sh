@@ -3,7 +3,9 @@
 #
 # Runs, in order:
 #   1. go vet over every package, plus doc hygiene: every internal
-#      package carries a package comment and gofmt has nothing to say
+#      package carries a package comment, gofmt has nothing to say, and
+#      the docs can't drift — every cmd/ tool and internal/ package must
+#      be mentioned in README.md or DESIGN.md
 #   2. the race detector over the audit harness, the resilience
 #      executors, the cluster layer, the obs metrics package, the shared
 #      experiments registry, the service stack — serve, chaos injector,
@@ -26,7 +28,9 @@
 #      asserting at least one real failover happened
 #      (scripts/mesh_soak.sh), and the exaload workload smoke — trace
 #      gen/replay, open-loop run, and a small live saturation sweep
-#      (scripts/load_smoke.sh)
+#      (scripts/load_smoke.sh), and the autoscaler elasticity soak — a
+#      diurnal exaload day against an elastic pool that must grow, shrink
+#      back, and lose no jobs (scripts/autoscale_soak.sh)
 #   7. opt-in: with BENCH_BASELINE=path/to/BENCH_results.json set, rerun
 #      the exhibit benchmarks and fail on any >10% time or allocation
 #      regression against that report (cmd/exabench -baseline)
@@ -51,9 +55,17 @@ done >/dev/null
 UNFMT=$(gofmt -l .)
 [ -z "$UNFMT" ] || { echo "gofmt wants to rewrite:"; echo "$UNFMT"; exit 1; }
 
-echo "== race detector on the audit harness, executors, cluster layer, metrics, registry, and service stack"
+echo "== doc drift: every binary and package appears in README.md or DESIGN.md"
+UNDOCUMENTED=""
+for dir in cmd/*/ internal/*/; do
+  name=$(basename "$dir")
+  grep -q "$name" README.md DESIGN.md || UNDOCUMENTED="${UNDOCUMENTED} ${dir%/}"
+done
+[ -z "$UNDOCUMENTED" ] || { echo "undocumented in README.md/DESIGN.md:${UNDOCUMENTED}"; exit 1; }
+
+echo "== race detector on the audit harness, executors, cluster layer, machine model, metrics, registry, and service stack"
 go test -race -count=1 ./internal/check/ ./internal/resilience/ ./internal/cluster/... \
-	./internal/obs/... ./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
+	./internal/machine/ ./internal/obs/... ./internal/experiments/ ./internal/serve/... ./internal/mesh/ ./internal/chaos/ \
 	./internal/serveclient/ ./internal/load/ ./internal/selection/ ./internal/analytic/ ./internal/rng/
 
 echo "== fuzz smoke (${FUZZTIME} per target)"
@@ -78,6 +90,8 @@ if [ "${SOAK_REQUESTS:-8}" != "0" ]; then
   SOAK_CLIENTS="${SOAK_CLIENTS:-3}" SOAK_REQUESTS="${SOAK_REQUESTS:-8}" scripts/mesh_soak.sh
   echo "== load smoke"
   scripts/load_smoke.sh
+  echo "== autoscale soak"
+  scripts/autoscale_soak.sh
 fi
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
